@@ -1,0 +1,33 @@
+.PHONY: all build test bench figures eval micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# full experiment harness (figures + evaluation + micro-benchmarks)
+bench:
+	dune exec bench/main.exe
+
+figures:
+	dune exec bench/main.exe -- figures
+
+eval:
+	dune exec bench/main.exe -- eval
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/domino_effect.exe
+	dune exec examples/paper_trace.exe
+	dune exec examples/recovery_demo.exe
+	dune exec examples/storage_budget.exe
+	dune exec examples/causal_breakpoint.exe
+
+clean:
+	dune clean
