@@ -1,0 +1,1 @@
+bench/exp_eval.ml: Array Exp_support Float Fun Hashtbl List Printf Rdt_ccp Rdt_core Rdt_gc Rdt_metrics Rdt_protocols Rdt_recovery Rdt_storage Rdt_workload

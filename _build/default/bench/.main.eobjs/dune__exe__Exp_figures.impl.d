@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Exp_support Format Fun List Printf Rdt_ccp Rdt_gc Rdt_metrics Rdt_protocols Rdt_recovery Rdt_scenarios Rdt_storage String

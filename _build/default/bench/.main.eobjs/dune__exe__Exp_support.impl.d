@@ -1,0 +1,1 @@
+bench/exp_support.ml: Array List Printf Rdt_core Rdt_metrics Rdt_workload String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_eval Exp_figures List Micro Printf Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Exp_support Hashtbl List Measure Printf Rdt_ccp Rdt_gc Rdt_metrics Rdt_protocols Rdt_recovery Rdt_scenarios Rdt_storage Staged Test Time Toolkit

@@ -1,0 +1,368 @@
+(* rdtgc — command-line front end.
+
+   Subcommands:
+     run       simulate a checkpointed system and report GC behaviour
+     analyze   run a simulation and analyze its CCP (RDT, obsolete set)
+     figure4   replay the paper's Figure 4 execution step by step
+     protocols list the available checkpointing protocols *)
+
+open Cmdliner
+module Runner = Rdt_core.Runner
+module Sim_config = Rdt_core.Sim_config
+module Workload = Rdt_workload.Workload
+module Protocol = Rdt_protocols.Protocol
+module Series = Rdt_metrics.Series
+
+(* --- shared argument definitions -------------------------------------- *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n"; "processes" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (runs are deterministic given the seed).")
+
+let duration_arg =
+  Arg.(value & opt float 100.0 & info [ "duration" ] ~docv:"T" ~doc:"Virtual duration of the run.")
+
+let protocol_conv =
+  let parse s =
+    match Protocol.by_id s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown protocol %S (try: %s)" s
+             (String.concat ", " (List.map (fun p -> p.Protocol.id) Protocol.all))))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf p.Protocol.id)
+
+let protocol_arg =
+  Arg.(value & opt protocol_conv Protocol.fdas
+       & info [ "protocol" ] ~docv:"PROTO" ~doc:"Checkpointing protocol: fdas, fdi, bcs, cbr, cas, casbr or none.")
+
+let gc_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "none" ] -> Ok Sim_config.No_gc
+    | [ "rdt-lgc" ] | [ "local" ] -> Ok Sim_config.Local
+    | [ "lazy"; p ] -> Ok (Sim_config.Local_lazy { period = float_of_string p })
+    | [ "coordinated"; p ] -> Ok (Sim_config.Coordinated { period = float_of_string p })
+    | [ "simple"; p ] -> Ok (Sim_config.Simple { period = float_of_string p })
+    | [ "oracle"; p ] -> Ok (Sim_config.Oracle_periodic { period = float_of_string p })
+    | _ ->
+      Error
+        (`Msg
+          "expected none, rdt-lgc, lazy:<period>, coordinated:<period>, \
+           simple:<period> or oracle:<period>")
+  in
+  Arg.conv
+    ( (fun s -> try parse s with Failure _ -> Error (`Msg "bad period")),
+      fun ppf gc -> Format.pp_print_string ppf (Sim_config.gc_policy_name gc) )
+
+let gc_arg =
+  Arg.(value & opt gc_conv Sim_config.Local
+       & info [ "gc" ] ~docv:"GC" ~doc:"Garbage collector: none, rdt-lgc, lazy:P, coordinated:P, simple:P, oracle:P.")
+
+let pattern_conv =
+  let parse s =
+    match Workload.pattern_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected uniform, ring, pipeline, broadcast or client-server:<k>")
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Workload.pattern_name p))
+
+let pattern_arg =
+  Arg.(value & opt pattern_conv Workload.Uniform
+       & info [ "pattern" ] ~docv:"PATTERN" ~doc:"Communication pattern.")
+
+let send_interval_arg =
+  Arg.(value & opt float 1.0 & info [ "send-interval" ] ~docv:"T" ~doc:"Mean time between spontaneous sends.")
+
+let ckpt_interval_arg =
+  Arg.(value & opt float 5.0 & info [ "ckpt-interval" ] ~docv:"T" ~doc:"Mean time between basic checkpoints.")
+
+let reply_arg =
+  Arg.(value & opt float 0.3 & info [ "reply-probability" ] ~docv:"P" ~doc:"Probability a receive triggers a reply.")
+
+let loss_arg =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Message loss probability.")
+
+let fifo_arg =
+  Arg.(value & flag & info [ "fifo" ] ~doc:"FIFO channels (default: reordering allowed).")
+
+let crash_conv =
+  (* PID@TIME+REPAIR, e.g. 2@40+5 *)
+  let parse s =
+    try
+      Scanf.sscanf s "%d@%f+%f" (fun pid crash_at repair_after ->
+          Ok { Sim_config.pid; crash_at; repair_after })
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      Error (`Msg "expected PID@TIME+REPAIR, e.g. 2@40+5")
+  in
+  Arg.conv
+    ( parse,
+      fun ppf f ->
+        Format.fprintf ppf "%d@%g+%g" f.Sim_config.pid f.Sim_config.crash_at
+          f.Sim_config.repair_after )
+
+let crash_arg =
+  Arg.(value & opt_all crash_conv []
+       & info [ "crash" ] ~docv:"PID@TIME+REPAIR" ~doc:"Inject a crash (repeatable).")
+
+let knowledge_conv =
+  Arg.conv
+    ( (function
+       | "global" -> Ok `Global
+       | "causal" -> Ok `Causal
+       | _ -> Error (`Msg "expected global or causal")),
+      fun ppf k ->
+        Format.pp_print_string ppf
+          (match k with `Global -> "global" | `Causal -> "causal") )
+
+let knowledge_arg =
+  Arg.(value & opt knowledge_conv `Global
+       & info [ "knowledge" ] ~docv:"MODE" ~doc:"Recovery-session knowledge: global (LI vector) or causal (DV only).")
+
+let series_arg =
+  Arg.(value & flag & info [ "series" ] ~doc:"Print the retained-checkpoints time series.")
+
+let build_config n seed duration protocol gc pattern send_interval
+    ckpt_interval reply loss fifo faults knowledge =
+  {
+    Sim_config.n;
+    seed;
+    duration;
+    protocol;
+    gc;
+    faults;
+    knowledge;
+    workload =
+      {
+        Workload.pattern;
+        send_mean_interval = send_interval;
+        basic_ckpt_mean_interval = ckpt_interval;
+        reply_probability = reply;
+      };
+    net = { Rdt_sim.Network.default with loss_probability = loss; fifo };
+    sample_interval = Float.max 1.0 (duration /. 50.0);
+    ckpt_bytes = 1;
+  }
+
+let config_term =
+  Term.(
+    const build_config $ n_arg $ seed_arg $ duration_arg $ protocol_arg
+    $ gc_arg $ pattern_arg $ send_interval_arg $ ckpt_interval_arg $ reply_arg
+    $ loss_arg $ fifo_arg $ crash_arg $ knowledge_arg)
+
+(* --- run --------------------------------------------------------------- *)
+
+let do_run cfg series =
+  Sim_config.validate cfg;
+  let t = Runner.create cfg in
+  Runner.run t;
+  Format.printf "%a@." Runner.pp_summary (Runner.summary t);
+  List.iter
+    (fun r -> Format.printf "%a@." Rdt_recovery.Session.pp_report r)
+    (Runner.recoveries t);
+  if series then begin
+    Format.printf "@.%a@." Series.pp (Runner.total_retained_series t);
+    if Series.length (Runner.optimal_retained_series t) > 0 then
+      Format.printf "%a@." Series.pp (Runner.optimal_retained_series t)
+  end
+
+let run_cmd =
+  let doc = "Simulate a checkpointed distributed system with garbage collection." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const do_run $ config_term $ series_arg)
+
+(* --- analyze ------------------------------------------------------------ *)
+
+let analyze_trace trace retained_of =
+  let ccp = Rdt_ccp.Ccp.of_trace trace in
+  Format.printf "%a@.@." Rdt_ccp.Ccp.pp ccp;
+  let events = List.length (Rdt_ccp.Trace.all_events trace) in
+  if events <= 72 then begin
+    Rdt_ccp.Diagram.print trace;
+    print_newline ()
+  end;
+  let violations = Rdt_ccp.Rdt_check.violations ~limit:5 ccp in
+  Format.printf "RD-trackable: %b@." (violations = []);
+  List.iter
+    (fun v -> Format.printf "  violation: %a@." Rdt_ccp.Rdt_check.pp_violation v)
+    violations;
+  let useless = Rdt_ccp.Zigzag.useless ccp in
+  Format.printf "useless checkpoints: %d@." (List.length useless);
+  if violations = [] then begin
+    let obsolete = Rdt_gc.Oracle.obsolete ccp in
+    Format.printf "obsolete stable checkpoints (Theorem 1): %d@."
+      (List.length obsolete);
+    for pid = 0 to Rdt_ccp.Ccp.n ccp - 1 do
+      let oracle_set =
+        String.concat ","
+          (List.map string_of_int (Rdt_gc.Oracle.retained ccp ~pid))
+      in
+      match retained_of pid with
+      | Some retained ->
+        Format.printf "  p%d retains {%s}; oracle would retain {%s}@." pid
+          (String.concat "," (List.map string_of_int retained))
+          oracle_set
+      | None -> Format.printf "  p%d: oracle would retain {%s}@." pid oracle_set
+    done
+  end
+
+let save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save" ] ~docv:"FILE" ~doc:"Save the execution trace to FILE (reload with 'rdtgc inspect').")
+
+let do_analyze cfg save =
+  Sim_config.validate cfg;
+  let t = Runner.create cfg in
+  Runner.run t;
+  (match save with
+  | Some path ->
+    Rdt_ccp.Trace.save (Runner.trace t) path;
+    Format.printf "trace saved to %s@." path
+  | None -> ());
+  analyze_trace (Runner.trace t) (fun pid ->
+      Some
+        (Rdt_storage.Stable_store.retained_indices
+           (Rdt_protocols.Middleware.store (Runner.middleware t pid))))
+
+let analyze_cmd =
+  let doc = "Run a simulation and analyze the resulting checkpoint pattern." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const do_analyze $ config_term $ save_arg)
+
+(* --- inspect ------------------------------------------------------------- *)
+
+let do_inspect path =
+  let trace = Rdt_ccp.Trace.load path in
+  analyze_trace trace (fun _ -> None)
+
+let inspect_cmd =
+  let doc = "Analyze a previously saved execution trace." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const do_inspect $ file_arg)
+
+(* --- sweep --------------------------------------------------------------- *)
+
+let seeds_arg =
+  Arg.(value & opt int 3
+       & info [ "seeds" ] ~docv:"K" ~doc:"Number of seeds to average over.")
+
+let do_sweep cfg seeds =
+  Sim_config.validate cfg;
+  let module Table = Rdt_metrics.Table in
+  let module Stats = Rdt_metrics.Stats in
+  let collectors =
+    [
+      ("no-gc", Sim_config.No_gc);
+      ("simple:5", Sim_config.Simple { period = 5.0 });
+      ("coordinated:5", Sim_config.Coordinated { period = 5.0 });
+      ("lazy:5", Sim_config.Local_lazy { period = 5.0 });
+      ("rdt-lgc", Sim_config.Local);
+      ("oracle:2", Sim_config.Oracle_periodic { period = 2.0 });
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("collector", Table.Left);
+          ("mean retained", Table.Right);
+          ("peak retained", Table.Right);
+          ("collected", Table.Right);
+          ("ctrl msgs", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, gc) ->
+      let mean = Stats.create ()
+      and peak = Stats.create ()
+      and collected = Stats.create ()
+      and ctrl = Stats.create () in
+      for k = 0 to seeds - 1 do
+        let t = Runner.create { cfg with gc; seed = cfg.seed + k } in
+        Runner.run t;
+        let s = Runner.summary t in
+        Stats.add mean s.Runner.mean_total_retained;
+        Stats.add_int peak s.Runner.peak_retained_global;
+        Stats.add_int collected s.Runner.eliminated_total;
+        Stats.add_int ctrl s.Runner.control_messages
+      done;
+      Table.add_row table
+        [
+          name;
+          Table.fmt_float (Stats.mean mean);
+          Table.fmt_float (Stats.mean peak);
+          Table.fmt_float ~decimals:0 (Stats.mean collected);
+          Table.fmt_float ~decimals:0 (Stats.mean ctrl);
+        ])
+    collectors;
+  Table.print table
+
+let sweep_cmd =
+  let doc =
+    "Run the same workload under every garbage collector and compare \
+     storage footprints (the --gc flag is ignored)."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const do_sweep $ config_term $ seeds_arg)
+
+(* --- figure4 ------------------------------------------------------------ *)
+
+let do_figure4 () =
+  let module Script = Rdt_scenarios.Script in
+  let s = Rdt_scenarios.Figures.figure4 () in
+  Format.printf "Figure 4 final state (paper pids p1,p2,p3 = 0,1,2):@.";
+  for pid = 0 to 2 do
+    Format.printf "  p%d: DV=(%s) UC=(%s) retained={%s}@." pid
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int (Script.dv s pid))))
+      (String.concat ","
+         (Array.to_list
+            (Array.map
+               (function None -> "*" | Some i -> string_of_int i)
+               (Script.uc s pid))))
+      (String.concat "," (List.map string_of_int (Script.retained s pid)))
+  done;
+  Format.printf
+    "(run `dune exec examples/paper_trace.exe` for the step-by-step replay)@."
+
+let figure4_cmd =
+  let doc = "Replay the paper's Figure 4 reference execution of RDT-LGC." in
+  Cmd.v (Cmd.info "figure4" ~doc) Term.(const do_figure4 $ const ())
+
+(* --- protocols ----------------------------------------------------------- *)
+
+let do_protocols () =
+  List.iter
+    (fun p ->
+      Printf.printf "%-6s %s\n" p.Protocol.id
+        (if p.Protocol.rdt then "guarantees RDT"
+         else if p.Protocol.id = "bcs" then
+           "Z-cycle-free only (no useless checkpoints, but not RDT)"
+         else "no guarantee (domino effect possible)"))
+    Protocol.all
+
+let protocols_cmd =
+  let doc = "List the available communication-induced checkpointing protocols." in
+  Cmd.v (Cmd.info "protocols" ~doc) Term.(const do_protocols $ const ())
+
+let () =
+  let doc =
+    "RDT-LGC: optimal asynchronous garbage collection for RDT checkpointing \
+     protocols (Schmidt, Garcia, Pedone & Buzato, ICDCS 2005)"
+  in
+  let info = Cmd.info "rdtgc" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            analyze_cmd;
+            inspect_cmd;
+            sweep_cmd;
+            figure4_cmd;
+            protocols_cmd;
+          ]))

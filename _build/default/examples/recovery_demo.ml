@@ -1,0 +1,52 @@
+(* Crash, recovery line, rollback — a full fault-tolerance cycle.
+
+   A 5-process system runs under FDAS + RDT-LGC; process 2 crashes twice.
+   The centralized recovery manager computes the recovery line from the
+   dependency vectors stored with the checkpoints (Lemma 1), rolls the
+   dependent processes back, and RDT-LGC's Algorithm 3 rebuilds its
+   bookkeeping — collecting whatever became obsolete.
+
+   Run with:  dune exec examples/recovery_demo.exe *)
+
+module Runner = Rdt_core.Runner
+module Sim_config = Rdt_core.Sim_config
+module Session = Rdt_recovery.Session
+module Stable_store = Rdt_storage.Stable_store
+module Middleware = Rdt_protocols.Middleware
+
+let () =
+  let cfg =
+    {
+      Sim_config.default with
+      n = 5;
+      seed = 7;
+      duration = 120.0;
+      faults =
+        [
+          { Sim_config.crash_at = 40.0; pid = 2; repair_after = 5.0 };
+          { Sim_config.crash_at = 80.0; pid = 2; repair_after = 5.0 };
+        ];
+      knowledge = `Global;
+    }
+  in
+  let t = Runner.create cfg in
+  Runner.run t;
+  Format.printf "simulation finished at t=%.0f@.@." (Runner.now t);
+  List.iteri
+    (fun i report ->
+      Format.printf "recovery session %d:@.  %a@." (i + 1) Session.pp_report
+        report)
+    (Runner.recoveries t);
+  Format.printf "@.state after the run:@.";
+  for pid = 0 to cfg.Sim_config.n - 1 do
+    let store = Middleware.store (Runner.middleware t pid) in
+    Format.printf "  p%d retains %a@." pid Stable_store.pp store
+  done;
+  let s = Runner.summary t in
+  Format.printf
+    "@.%d checkpoints were rolled back across %d sessions; garbage@.\
+     collection kept running through it all: %d of %d checkpoints@.\
+     collected, never above the n = %d bound (peak %d).@."
+    s.Runner.checkpoints_rolled_back s.Runner.recovery_sessions
+    s.Runner.eliminated_total s.Runner.stored_total cfg.Sim_config.n
+    (Array.fold_left max 0 s.Runner.peak_retained)

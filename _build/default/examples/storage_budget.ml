@@ -1,0 +1,79 @@
+(* Choosing a garbage collector for a storage budget.
+
+   A client-server application (2 servers, 6 clients) runs the same
+   workload under each collector; the table shows the stable-storage
+   footprint and what each collector costs in coordination.  This is the
+   decision the paper's introduction motivates: RDT-LGC gets most of the
+   achievable collection with zero control traffic and a hard per-process
+   bound.
+
+   Run with:  dune exec examples/storage_budget.exe *)
+
+module Runner = Rdt_core.Runner
+module Sim_config = Rdt_core.Sim_config
+module Workload = Rdt_workload.Workload
+module Table = Rdt_metrics.Table
+
+let () =
+  let n = 8 in
+  let collectors =
+    [
+      ("no-gc", Sim_config.No_gc);
+      ("simple (period 5)", Sim_config.Simple { period = 5.0 });
+      ("coordinated (period 5)", Sim_config.Coordinated { period = 5.0 });
+      ("rdt-lgc", Sim_config.Local);
+      ("oracle (period 2)", Sim_config.Oracle_periodic { period = 2.0 });
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("collector", Table.Left);
+          ("mean stored ckpts", Table.Right);
+          ("peak stored ckpts", Table.Right);
+          ("control msgs", Table.Right);
+          ("per-process bound", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (name, gc) ->
+      let cfg =
+        {
+          Sim_config.default with
+          n;
+          seed = 99;
+          duration = 150.0;
+          gc;
+          workload =
+            {
+              Workload.default with
+              pattern = Workload.Client_server { servers = 2 };
+              send_mean_interval = 0.6;
+            };
+        }
+      in
+      let t = Runner.create cfg in
+      Runner.run t;
+      let s = Runner.summary t in
+      Table.add_row table
+        [
+          name;
+          Table.fmt_float s.Runner.mean_total_retained;
+          string_of_int s.Runner.peak_retained_global;
+          string_of_int s.Runner.control_messages;
+          (match gc with
+          | Sim_config.Local -> Printf.sprintf "n = %d (guaranteed)" n
+          | Sim_config.No_gc -> "unbounded"
+          | Sim_config.Simple _ -> "unbounded"
+          | Sim_config.Local_lazy _ | Sim_config.Coordinated _
+          | Sim_config.Oracle_periodic _ ->
+            "bounded between rounds");
+        ])
+    collectors;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "rdt-lgc approaches the oracle's footprint with zero control traffic;\n\
+     the coordinated baselines pay messages every round and still lag\n\
+     behind, because their knowledge is a full round stale."

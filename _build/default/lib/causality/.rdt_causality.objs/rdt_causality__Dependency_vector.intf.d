@@ -1,0 +1,1 @@
+lib/causality/dependency_vector.mli: Format

@@ -1,0 +1,1 @@
+lib/causality/vector_clock.ml: Array Format Stdlib

@@ -1,0 +1,1 @@
+lib/causality/vector_clock.mli: Format

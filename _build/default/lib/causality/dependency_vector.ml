@@ -1,0 +1,47 @@
+type t = int array
+
+let create ~n =
+  if n <= 0 then invalid_arg "Dependency_vector.create: n must be positive";
+  Array.make n 0
+
+let copy = Array.copy
+let size = Array.length
+let get t i = t.(i)
+let set t i v = t.(i) <- v
+let increment t i = t.(i) <- t.(i) + 1
+
+let merge_from_message t m =
+  if Array.length t <> Array.length m then
+    invalid_arg "Dependency_vector.merge_from_message: size mismatch";
+  let changed = ref [] in
+  for j = Array.length t - 1 downto 0 do
+    if m.(j) > t.(j) then begin
+      t.(j) <- m.(j);
+      changed := j :: !changed
+    end
+  done;
+  !changed
+
+let newer_entries ~local ~incoming =
+  if Array.length local <> Array.length incoming then
+    invalid_arg "Dependency_vector.newer_entries: size mismatch";
+  let changed = ref [] in
+  for j = Array.length local - 1 downto 0 do
+    if incoming.(j) > local.(j) then changed := j :: !changed
+  done;
+  !changed
+
+let last_known t j = t.(j) - 1
+
+let checkpoint_precedes ~index ~of_ dv_beta = index < dv_beta.(of_)
+
+let equal a b = a = b
+let to_array = Array.copy
+let of_array = Array.copy
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t)

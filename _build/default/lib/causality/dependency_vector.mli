@@ -1,0 +1,55 @@
+(** Transitive dependency vectors (Strom & Yemini), as used by RDT
+    checkpointing protocols and by RDT-LGC (paper, Section 4.2).
+
+    Conventions (matching the paper):
+    - entry [i] of process [p_i]'s vector is the index of its *current
+      checkpoint interval*; it is incremented immediately after a new
+      checkpoint is taken.  Interval [I^gamma] is the span between
+      checkpoints [c^(gamma-1)] and [c^gamma], so after storing the initial
+      checkpoint [s^0] the current interval is 1.
+    - entry [j <> i] is the highest interval index of [p_j] on which [p_i]
+      (causally) depends, updated on message receipt.
+
+    Equation 2 of the paper: [c^alpha_a -> c^beta_b  <=>  alpha < DV(c^beta_b)[a]]
+    — valid when the execution is RD-trackable.
+    Equation 3: [last_k_i(j) = DV(v_i)[j] - 1] (index of the last stable
+    checkpoint of [p_j] known to [p_i]; [-1] when none). *)
+
+type t
+
+val create : n:int -> t
+(** All-zero vector (the paper's initial value). *)
+
+val copy : t -> t
+val size : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val increment : t -> int -> unit
+(** [increment dv i]: the step performed immediately after process [i]
+    takes a checkpoint. *)
+
+val merge_from_message : t -> int array -> int list
+(** [merge_from_message dv m_dv] applies the receive rule
+    [dv.(j) <- max dv.(j) m_dv.(j)] and returns the (sorted) list of entries
+    that strictly increased — exactly the "new causal info" entries RDT-LGC
+    reacts to (Algorithm 2, receiving [m], line 2).  The incoming vector is
+    a plain array because that is how it travels inside messages. *)
+
+val newer_entries : local:int array -> incoming:int array -> int list
+(** Entries [j] with [incoming.(j) > local.(j)], without mutating;
+    the test protocols such as FDAS use to detect new dependencies. *)
+
+val last_known : t -> int -> int
+(** Equation 3: [last_known dv j = dv.(j) - 1]. *)
+
+val checkpoint_precedes : index:int -> of_:int -> t -> bool
+(** [checkpoint_precedes ~index:alpha ~of_:a dv_beta] implements
+    Equation 2: does [c^alpha_a] causally precede the checkpoint whose
+    stored vector is [dv_beta]?  Only meaningful on RD-trackable
+    executions. *)
+
+val equal : t -> t -> bool
+val to_array : t -> int array
+val of_array : int array -> t
+val pp : Format.formatter -> t -> unit

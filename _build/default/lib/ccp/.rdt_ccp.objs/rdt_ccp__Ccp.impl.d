@@ -1,0 +1,1 @@
+lib/ccp/ccp.ml: Array Format Hashtbl List Printf Rdt_causality Rdt_sim Trace

@@ -1,0 +1,1 @@
+lib/ccp/ccp.mli: Format Rdt_causality Trace

@@ -1,0 +1,1 @@
+lib/ccp/consistency.ml: Array Ccp Format List Option

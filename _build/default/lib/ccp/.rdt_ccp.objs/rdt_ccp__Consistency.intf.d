@@ -1,0 +1,1 @@
+lib/ccp/consistency.mli: Ccp Format

@@ -1,0 +1,1 @@
+lib/ccp/diagram.ml: Buffer List Printf String Trace

@@ -1,0 +1,1 @@
+lib/ccp/diagram.mli: Trace

@@ -1,0 +1,1 @@
+lib/ccp/rdt_check.ml: Array Ccp Format List Zigzag

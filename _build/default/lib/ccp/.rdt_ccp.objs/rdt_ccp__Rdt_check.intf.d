@@ -1,0 +1,1 @@
+lib/ccp/rdt_check.mli: Ccp Format

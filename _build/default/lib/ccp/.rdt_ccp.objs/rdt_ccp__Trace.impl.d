@@ -1,0 +1,1 @@
+lib/ccp/trace.ml: Array Fun List Printf Rdt_sim Scanf String

@@ -1,0 +1,1 @@
+lib/ccp/zigzag.ml: Array Ccp Hashtbl List Queue

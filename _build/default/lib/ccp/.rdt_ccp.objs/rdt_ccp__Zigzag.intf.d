@@ -1,0 +1,1 @@
+lib/ccp/zigzag.mli: Ccp

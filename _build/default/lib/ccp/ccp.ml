@@ -1,0 +1,148 @@
+module Vector_clock = Rdt_causality.Vector_clock
+module Vec = Rdt_sim.Vec
+
+type ckpt = { pid : int; index : int }
+
+type message = {
+  id : int;
+  src : int;
+  send_interval : int;
+  send_seq : int;
+  dst : int;
+  recv_interval : int;
+  recv_seq : int;
+}
+
+type t = {
+  n : int;
+  last_stable : int array;
+  ckpt_vc : Vector_clock.t array array;  (* [pid].(index), 0 .. last_stable *)
+  volatile_vc : Vector_clock.t array;
+  messages : message array;
+}
+
+type pending_send = {
+  p_vc : Vector_clock.t;
+  p_src : int;
+  p_send_interval : int;
+  p_send_seq : int;
+}
+
+let of_trace trace =
+  let n = Trace.n trace in
+  let cur_vc = Array.init n (fun _ -> Vector_clock.create ~n) in
+  let cur_interval = Array.make n 0 in
+  let ckpt_count = Array.make n 0 in
+  let ckpts = Array.init n (fun _ -> Vec.create ()) in
+  let pending : (int, pending_send) Hashtbl.t = Hashtbl.create 64 in
+  let messages = Vec.create () in
+  let handle (ev : Trace.event) =
+    let pid = ev.pid in
+    let vc = cur_vc.(pid) in
+    Vector_clock.tick vc pid;
+    match ev.kind with
+    | Trace.Checkpoint { index } ->
+      if index <> ckpt_count.(pid) then
+        invalid_arg
+          (Printf.sprintf
+             "Ccp.of_trace: process %d records checkpoint %d, expected %d" pid
+             index ckpt_count.(pid));
+      Vec.push ckpts.(pid) (Vector_clock.copy vc);
+      ckpt_count.(pid) <- index + 1;
+      cur_interval.(pid) <- index + 1
+    | Trace.Send { msg_id; dst = _ } ->
+      Hashtbl.replace pending msg_id
+        {
+          p_vc = Vector_clock.copy vc;
+          p_src = pid;
+          p_send_interval = cur_interval.(pid);
+          p_send_seq = ev.seq;
+        }
+    | Trace.Receive { msg_id; src } -> begin
+      match Hashtbl.find_opt pending msg_id with
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Ccp.of_trace: orphan receive of message %d at process %d" msg_id
+             pid)
+      | Some p ->
+        if p.p_src <> src then
+          invalid_arg "Ccp.of_trace: receive names the wrong sender";
+        Hashtbl.remove pending msg_id;
+        Vector_clock.merge_into ~dst:vc ~src:p.p_vc;
+        Vec.push messages
+          {
+            id = msg_id;
+            src;
+            send_interval = p.p_send_interval;
+            send_seq = p.p_send_seq;
+            dst = pid;
+            recv_interval = cur_interval.(pid);
+            recv_seq = ev.seq;
+          }
+    end
+  in
+  List.iter handle (Trace.all_events trace);
+  for pid = 0 to n - 1 do
+    if ckpt_count.(pid) = 0 then
+      invalid_arg
+        (Printf.sprintf "Ccp.of_trace: process %d has no initial checkpoint"
+           pid)
+  done;
+  {
+    n;
+    last_stable = Array.map (fun c -> c - 1) ckpt_count;
+    ckpt_vc = Array.map Vec.to_array ckpts;
+    volatile_vc = cur_vc;
+    messages = Vec.to_array messages;
+  }
+
+let n t = t.n
+let last_stable t pid = t.last_stable.(pid)
+let volatile_index t pid = t.last_stable.(pid) + 1
+let volatile t pid = { pid; index = volatile_index t pid }
+let last_stable_ckpt t pid = { pid; index = t.last_stable.(pid) }
+
+let mem t c =
+  c.pid >= 0 && c.pid < t.n && c.index >= 0 && c.index <= volatile_index t c.pid
+
+let is_volatile t c = c.index = volatile_index t c.pid
+let is_stable t c = mem t c && c.index <= t.last_stable.(c.pid)
+
+let checkpoints t =
+  List.concat
+    (List.init t.n (fun pid ->
+         List.init (volatile_index t pid + 1) (fun index -> { pid; index })))
+
+let stable_checkpoints t =
+  List.concat
+    (List.init t.n (fun pid ->
+         List.init (t.last_stable.(pid) + 1) (fun index -> { pid; index })))
+
+let messages t = t.messages
+
+let vc t c =
+  if not (mem t c) then invalid_arg "Ccp.vc: checkpoint not in CCP";
+  if is_volatile t c then t.volatile_vc.(c.pid) else t.ckpt_vc.(c.pid).(c.index)
+
+let precedes t c1 c2 =
+  if not (mem t c1 && mem t c2) then
+    invalid_arg "Ccp.precedes: checkpoint not in CCP";
+  if c1 = c2 then false
+  else if is_volatile t c1 then false
+  else
+    (* event test: e -> f iff VC(e).(proc e) <= VC(f).(proc e) *)
+    Vector_clock.get (vc t c1) c1.pid <= Vector_clock.get (vc t c2) c1.pid
+
+let consistent_pair t c1 c2 = (not (precedes t c1 c2)) && not (precedes t c2 c1)
+
+let pp_ckpt ppf c = Format.fprintf ppf "c%d_p%d" c.index c.pid
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>CCP: %d processes, %d messages" t.n
+    (Array.length t.messages);
+  for pid = 0 to t.n - 1 do
+    Format.fprintf ppf "@,  p%d: %d stable checkpoints (+volatile)" pid
+      (t.last_stable.(pid) + 1)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,81 @@
+(** Checkpoint and Communication Patterns (paper, Section 2.2).
+
+    A CCP is the set of checkpoints taken by all processes in a consistent
+    cut plus the dependency relation created by the exchanged messages
+    (excluding lost and in-transit messages).  This module builds a CCP
+    from a recorded {!Trace.t} and answers causality queries between
+    checkpoints using vector clocks computed over the trace — deliberately
+    *not* using the protocols' dependency vectors, so the two mechanisms
+    can be verified against each other.
+
+    Indexing conventions follow the paper: process [p_i] starts by storing
+    stable checkpoint [s^0_i]; checkpoint interval [I^gamma] comprises the
+    events between [c^(gamma-1)] and [c^gamma]; the volatile checkpoint
+    [v_i] is the general checkpoint with index [last_s(i) + 1]. *)
+
+type ckpt = { pid : int; index : int }
+(** A general checkpoint [c^index_pid].  It is stable when
+    [index <= last_stable t pid] and volatile when
+    [index = last_stable t pid + 1]. *)
+
+type message = {
+  id : int;
+  src : int;
+  send_interval : int;  (** interval of the sender when sending *)
+  send_seq : int;  (** trace sequence number of the send event *)
+  dst : int;
+  recv_interval : int;  (** interval of the receiver when receiving *)
+  recv_seq : int;  (** trace sequence number of the receive event *)
+}
+
+type t
+
+val of_trace : Trace.t -> t
+(** Builds the CCP of the cut consisting of the whole trace.
+    @raise Invalid_argument on malformed traces: a receive without a
+    matching send (orphan message — the sign of an inconsistent rollback),
+    or non-contiguous checkpoint indices. *)
+
+val n : t -> int
+
+val last_stable : t -> int -> int
+(** [last_s(i)]: index of the last stable checkpoint of process [i]. *)
+
+val volatile_index : t -> int -> int
+(** [last_stable t i + 1]. *)
+
+val volatile : t -> int -> ckpt
+(** The volatile checkpoint [v_i]. *)
+
+val last_stable_ckpt : t -> int -> ckpt
+(** [s^last_i]. *)
+
+val mem : t -> ckpt -> bool
+(** Does this general checkpoint exist in the CCP? *)
+
+val is_volatile : t -> ckpt -> bool
+val is_stable : t -> ckpt -> bool
+
+val checkpoints : t -> ckpt list
+(** Every general checkpoint (stable and volatile), process by process. *)
+
+val stable_checkpoints : t -> ckpt list
+
+val messages : t -> message array
+(** Delivered messages only, in trace order. *)
+
+val vc : t -> ckpt -> Rdt_causality.Vector_clock.t
+(** Vector clock of the checkpoint event ([v_i]: the process's final
+    clock).  Do not mutate. *)
+
+val precedes : t -> ckpt -> ckpt -> bool
+(** Causal precedence [c1 -> c2] between checkpoint events (Definition 1).
+    Volatile checkpoints precede nothing; everything a process did
+    precedes its own volatile checkpoint. *)
+
+val consistent_pair : t -> ckpt -> ckpt -> bool
+(** Neither precedes the other (Section 2.2). *)
+
+val pp_ckpt : Format.formatter -> ckpt -> unit
+val pp : Format.formatter -> t -> unit
+(** Multi-line summary (per-process checkpoint counts and message count). *)

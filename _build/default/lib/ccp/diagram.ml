@@ -1,0 +1,36 @@
+let cell_of_event (ev : Trace.event) =
+  match ev.kind with
+  | Trace.Checkpoint { index } -> Printf.sprintf "[%d]" index
+  | Trace.Send { msg_id; _ } -> Printf.sprintf "m%d>" msg_id
+  | Trace.Receive { msg_id; _ } -> Printf.sprintf ">m%d" msg_id
+
+let render ?(max_events = 64) trace =
+  let events = Trace.all_events trace in
+  let total = List.length events in
+  let events =
+    if total <= max_events then events
+    else
+      List.filteri (fun i _ -> i >= total - max_events) events
+  in
+  let n = Trace.n trace in
+  let cells = List.map (fun ev -> (ev.Trace.pid, cell_of_event ev)) events in
+  let width =
+    List.fold_left (fun acc (_, c) -> max acc (String.length c)) 3 cells
+  in
+  let pad c = c ^ String.make (width - String.length c + 1) ' ' in
+  let buffer = Buffer.create 1024 in
+  if total > max_events then
+    Buffer.add_string buffer
+      (Printf.sprintf "... (%d earlier events omitted)\n" (total - max_events));
+  for pid = 0 to n - 1 do
+    Buffer.add_string buffer (Printf.sprintf "p%-2d " pid);
+    List.iter
+      (fun (owner, cell) ->
+        Buffer.add_string buffer
+          (if owner = pid then pad cell else String.make (width + 1) ' '))
+      cells;
+    Buffer.add_char buffer '\n'
+  done;
+  Buffer.contents buffer
+
+let print ?max_events trace = print_string (render ?max_events trace)

@@ -1,0 +1,31 @@
+type violation = { source : Ccp.ckpt; target : Ccp.ckpt }
+
+let violations ?(limit = max_int) ccp =
+  let acc = ref [] in
+  let count = ref 0 in
+  let ckpts = Ccp.checkpoints ccp in
+  let analyzer = Zigzag.analyzer ccp in
+  let check_source source =
+    if !count < limit then begin
+      let r = Zigzag.reach_from analyzer ~src:source in
+      let check_target (target : Ccp.ckpt) =
+        if
+          !count < limit
+          && r.(target.pid) <= target.index
+          && not (Ccp.precedes ccp source target)
+        then begin
+          acc := { source; target } :: !acc;
+          incr count
+        end
+      in
+      List.iter check_target ckpts
+    end
+  in
+  List.iter check_source ckpts;
+  List.rev !acc
+
+let holds ccp = violations ~limit:1 ccp = []
+
+let pp_violation ppf { source; target } =
+  Format.fprintf ppf "%a ~~> %a but %a -/-> %a" Ccp.pp_ckpt source Ccp.pp_ckpt
+    target Ccp.pp_ckpt source Ccp.pp_ckpt target

@@ -1,0 +1,163 @@
+module Vec = Rdt_sim.Vec
+
+type kind =
+  | Checkpoint of { index : int }
+  | Send of { msg_id : int; dst : int }
+  | Receive of { msg_id : int; src : int }
+
+type event = { seq : int; pid : int; kind : kind }
+
+type t = {
+  n : int;
+  logs : event Vec.t array;
+  mutable next_seq : int;
+  mutable next_msg_id : int;
+  mutable recording : bool;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Trace.create: n must be positive";
+  {
+    n;
+    logs = Array.init n (fun _ -> Vec.create ());
+    next_seq = 0;
+    next_msg_id = 0;
+    recording = true;
+  }
+
+let n t = t.n
+let set_recording t b = t.recording <- b
+
+let record t ~pid kind =
+  if pid < 0 || pid >= t.n then invalid_arg "Trace.record: bad pid";
+  if t.recording then begin
+    let ev = { seq = t.next_seq; pid; kind } in
+    t.next_seq <- t.next_seq + 1;
+    Vec.push t.logs.(pid) ev
+  end
+
+let record_checkpoint t ~pid ~index = record t ~pid (Checkpoint { index })
+let record_send t ~pid ~msg_id ~dst = record t ~pid (Send { msg_id; dst })
+let record_receive t ~pid ~msg_id ~src = record t ~pid (Receive { msg_id; src })
+
+let fresh_msg_id t =
+  let id = t.next_msg_id in
+  t.next_msg_id <- id + 1;
+  id
+
+let last_checkpoint_index t ~pid =
+  Vec.fold_left
+    (fun acc ev ->
+      match ev.kind with Checkpoint { index } -> max acc index | Send _ | Receive _ -> acc)
+    (-1) t.logs.(pid)
+
+let events_of t ~pid = Vec.to_list t.logs.(pid)
+
+let all_events t =
+  let all =
+    Array.to_list t.logs |> List.concat_map Vec.to_list
+  in
+  List.sort (fun a b -> compare a.seq b.seq) all
+
+let truncate_to_checkpoint t ~pid ~index =
+  let log = t.logs.(pid) in
+  let cut = ref (-1) in
+  Vec.iteri
+    (fun i ev ->
+      match ev.kind with
+      | Checkpoint { index = idx } when idx = index -> cut := i
+      | Checkpoint _ | Send _ | Receive _ -> ())
+    log;
+  if !cut < 0 then
+    invalid_arg "Trace.truncate_to_checkpoint: checkpoint not in trace";
+  Vec.truncate log (!cut + 1)
+
+(* Serialization *)
+
+let magic = "rdtgc-trace 1"
+
+let to_channel t oc =
+  Printf.fprintf oc "%s\n" magic;
+  Printf.fprintf oc "n %d\n" t.n;
+  List.iter
+    (fun ev ->
+      match ev.kind with
+      | Checkpoint { index } -> Printf.fprintf oc "C %d %d\n" ev.pid index
+      | Send { msg_id; dst } -> Printf.fprintf oc "S %d %d %d\n" ev.pid msg_id dst
+      | Receive { msg_id; src } ->
+        Printf.fprintf oc "R %d %d %d\n" ev.pid msg_id src)
+    (all_events t)
+
+let of_channel ic =
+  let line () = try Some (input_line ic) with End_of_file -> None in
+  (match line () with
+  | Some l when l = magic -> ()
+  | Some l -> failwith (Printf.sprintf "Trace.of_channel: bad header %S" l)
+  | None -> failwith "Trace.of_channel: empty input");
+  let t =
+    match line () with
+    | Some l -> begin
+      try Scanf.sscanf l "n %d" (fun n -> create ~n)
+      with Scanf.Scan_failure _ | Failure _ ->
+        failwith "Trace.of_channel: missing process count"
+    end
+    | None -> failwith "Trace.of_channel: missing process count"
+  in
+  let parse l =
+    try
+      match l.[0] with
+      | 'C' -> Scanf.sscanf l "C %d %d" (fun pid index ->
+            record_checkpoint t ~pid ~index)
+      | 'S' ->
+        Scanf.sscanf l "S %d %d %d" (fun pid msg_id dst ->
+            record_send t ~pid ~msg_id ~dst;
+            t.next_msg_id <- max t.next_msg_id (msg_id + 1))
+      | 'R' ->
+        Scanf.sscanf l "R %d %d %d" (fun pid msg_id src ->
+            record_receive t ~pid ~msg_id ~src)
+      | _ -> failwith (Printf.sprintf "Trace.of_channel: bad line %S" l)
+    with Scanf.Scan_failure _ | Invalid_argument _ ->
+      failwith (Printf.sprintf "Trace.of_channel: bad line %S" l)
+  in
+  let rec loop () =
+    match line () with
+    | None -> ()
+    | Some "" -> loop ()
+    | Some l ->
+      parse l;
+      loop ()
+  in
+  loop ();
+  t
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel t oc)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+(* Builder helpers *)
+
+let init_with_initial_checkpoints ~n =
+  let t = create ~n in
+  for pid = 0 to n - 1 do
+    record_checkpoint t ~pid ~index:0
+  done;
+  t
+
+let checkpoint t pid =
+  let index = last_checkpoint_index t ~pid + 1 in
+  record_checkpoint t ~pid ~index
+
+let send t ~src ~dst =
+  let msg_id = fresh_msg_id t in
+  record_send t ~pid:src ~msg_id ~dst;
+  msg_id
+
+let receive t ~msg_id ~src ~dst = record_receive t ~pid:dst ~msg_id ~src
+
+let message t ~src ~dst =
+  let msg_id = send t ~src ~dst in
+  receive t ~msg_id ~src ~dst

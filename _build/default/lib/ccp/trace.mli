@@ -1,0 +1,100 @@
+(** Recorded execution of a checkpointed distributed computation.
+
+    The checkpointing middleware appends events here as the simulation
+    runs; {!Ccp.of_trace} later turns the trace into a checkpoint and
+    communication pattern for analysis.  Events carry a global sequence
+    number assigned at record time: since a receive is always recorded
+    after its send, the sequence order is a linearization consistent with
+    causality, which the analyzers exploit.
+
+    Rollback support: {!truncate_to_checkpoint} rewinds one process to just
+    after a stable checkpoint, erasing the undone events.  Sends erased
+    this way make the message disappear from the computation (equivalent to
+    a loss, which the model allows); a surviving receive of an erased send
+    would mean the rollback was inconsistent, and {!Ccp.of_trace} treats it
+    as an error. *)
+
+type kind =
+  | Checkpoint of { index : int }
+      (** process stored stable checkpoint [s^index] *)
+  | Send of { msg_id : int; dst : int }
+  | Receive of { msg_id : int; src : int }
+
+type event = { seq : int; pid : int; kind : kind }
+
+type t
+
+val create : n:int -> t
+(** Empty trace for [n] processes.  Initial checkpoints are not implicit:
+    record [Checkpoint {index = 0}] for each process (the middleware and
+    the builder helpers below do). *)
+
+val n : t -> int
+
+val set_recording : t -> bool -> unit
+(** Disable (or re-enable) event recording.  With recording off the
+    [record_*] functions are no-ops (message ids are still allocated);
+    used by micro-benchmarks that drive the middleware in a hot loop and
+    must not accumulate an unbounded log.  A trace that was paused is no
+    longer a faithful basis for {!Ccp.of_trace}. *)
+
+val record_checkpoint : t -> pid:int -> index:int -> unit
+val record_send : t -> pid:int -> msg_id:int -> dst:int -> unit
+val record_receive : t -> pid:int -> msg_id:int -> src:int -> unit
+
+val fresh_msg_id : t -> int
+(** Allocates a globally unique message identifier. *)
+
+val last_checkpoint_index : t -> pid:int -> int
+(** Index of the last stable checkpoint recorded for [pid]; [-1] if none. *)
+
+val events_of : t -> pid:int -> event list
+(** Events of one process, oldest first. *)
+
+val all_events : t -> event list
+(** All events sorted by sequence number (i.e., a causal linearization). *)
+
+val truncate_to_checkpoint : t -> pid:int -> index:int -> unit
+(** Erase every event of [pid] after its [Checkpoint index] event.
+    @raise Invalid_argument if that checkpoint is not in the trace. *)
+
+(* Serialization: a line-oriented text format so executions can be saved
+   from one tool run and analyzed in another ([rdtgc analyze --save] /
+   [rdtgc inspect]). *)
+
+val to_channel : t -> out_channel -> unit
+(** Writes the trace:
+    {v
+    rdtgc-trace 1
+    n <processes>
+    C <pid> <index>            (checkpoint)
+    S <pid> <msg_id> <dst>     (send)
+    R <pid> <msg_id> <src>     (receive)
+    v}
+    Events appear in sequence order. *)
+
+val of_channel : in_channel -> t
+(** Reads the format written by {!to_channel}.
+    @raise Failure on malformed input. *)
+
+val save : t -> string -> unit
+val load : string -> t
+
+(* Builder helpers: hand-constructed patterns (paper figures, tests). *)
+
+val init_with_initial_checkpoints : n:int -> t
+(** A trace in which every process has already recorded [s^0]. *)
+
+val checkpoint : t -> int -> unit
+(** [checkpoint t pid] records the next stable checkpoint of [pid]
+    (index = last + 1). *)
+
+val send : t -> src:int -> dst:int -> int
+(** Records a send and returns the message id (to pass to {!receive}). *)
+
+val receive : t -> msg_id:int -> src:int -> dst:int -> unit
+
+val message : t -> src:int -> dst:int -> unit
+(** [message t ~src ~dst] records a send immediately followed by its
+    receive — the common case when transcribing a space-time diagram
+    left to right. *)

@@ -1,0 +1,101 @@
+type verdict = Causal_path | Non_causal_zigzag | Not_a_path
+
+(* Messages sent by each process, sorted by send_interval descending, so
+   that relaxing a constraint "send_interval >= gamma" enqueues a prefix
+   and a per-process pointer makes each message enqueued at most once. *)
+let sends_by_process ccp =
+  let n = Ccp.n ccp in
+  let buckets = Array.make n [] in
+  Array.iter
+    (fun (m : Ccp.message) -> buckets.(m.src) <- m :: buckets.(m.src))
+    (Ccp.messages ccp);
+  Array.map
+    (fun l ->
+      let a = Array.of_list l in
+      Array.sort
+        (fun (a : Ccp.message) (b : Ccp.message) ->
+          compare b.send_interval a.send_interval)
+        a;
+      a)
+    buckets
+
+type analyzer = { a_ccp : Ccp.t; a_sends : Ccp.message array array }
+
+let analyzer ccp = { a_ccp = ccp; a_sends = sends_by_process ccp }
+
+let reach_with ~ccp ~sends ~src =
+  if not (Ccp.mem ccp src) then invalid_arg "Zigzag.reach: bad checkpoint";
+  let n = Ccp.n ccp in
+  let ptr = Array.make n 0 in
+  let min_recv = Array.make n max_int in
+  let queue = Queue.create () in
+  let relax pid gamma =
+    let arr : Ccp.message array = sends.(pid) in
+    while ptr.(pid) < Array.length arr
+          && arr.(ptr.(pid)).Ccp.send_interval >= gamma do
+      Queue.push arr.(ptr.(pid)) queue;
+      ptr.(pid) <- ptr.(pid) + 1
+    done
+  in
+  (* condition (i): first message sent after c^alpha, i.e. in interval
+     >= alpha + 1 *)
+  relax src.Ccp.pid (src.Ccp.index + 1);
+  while not (Queue.is_empty queue) do
+    let (m : Ccp.message) = Queue.pop queue in
+    if m.recv_interval < min_recv.(m.dst) then
+      min_recv.(m.dst) <- m.recv_interval;
+    (* condition (ii): next message sent in the same or later interval *)
+    relax m.dst m.recv_interval
+  done;
+  min_recv
+
+let reach ccp ~src = reach_with ~ccp ~sends:(sends_by_process ccp) ~src
+let reach_from a ~src = reach_with ~ccp:a.a_ccp ~sends:a.a_sends ~src
+
+let path_exists ccp c1 (c2 : Ccp.ckpt) =
+  let r = reach ccp ~src:c1 in
+  r.(c2.pid) <= c2.index
+
+let cycle ccp (c : Ccp.ckpt) =
+  let r = reach ccp ~src:c in
+  r.(c.pid) <= c.index
+
+let useless ccp = List.filter (cycle ccp) (Ccp.checkpoints ccp)
+
+let classify_sequence ccp ~(from_ : Ccp.ckpt) ~(to_ : Ccp.ckpt) msg_ids =
+  let by_id = Hashtbl.create 16 in
+  Array.iter
+    (fun (m : Ccp.message) -> Hashtbl.replace by_id m.id m)
+    (Ccp.messages ccp);
+  let lookup id = Hashtbl.find_opt by_id id in
+  match List.map lookup msg_ids with
+  | [] -> Not_a_path
+  | maybe_msgs when List.exists (fun m -> m = None) maybe_msgs -> Not_a_path
+  | maybe_msgs ->
+    let msgs =
+      List.map
+        (function Some m -> m | None -> assert false)
+        maybe_msgs
+    in
+    let first = List.hd msgs in
+    let last = List.nth msgs (List.length msgs - 1) in
+    let valid_ends =
+      first.src = from_.pid
+      && first.send_interval >= from_.index + 1
+      && last.dst = to_.pid
+      && last.recv_interval <= to_.index
+    in
+    let rec check_hops causal = function
+      | (m1 : Ccp.message) :: (m2 : Ccp.message) :: rest ->
+        if m2.src = m1.dst && m2.send_interval >= m1.recv_interval then
+          check_hops (causal && m2.send_seq > m1.recv_seq) (m2 :: rest)
+        else None
+      | [ _ ] | [] -> Some causal
+    in
+    if not valid_ends then Not_a_path
+    else begin
+      match check_hops true msgs with
+      | None -> Not_a_path
+      | Some true -> Causal_path
+      | Some false -> Non_causal_zigzag
+    end

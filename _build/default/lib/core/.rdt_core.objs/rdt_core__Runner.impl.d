@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Format Fun List Printf Rdt_causality Rdt_ccp Rdt_gc Rdt_metrics Rdt_protocols Rdt_recovery Rdt_sim Rdt_storage Rdt_workload Sim_config Sim_msg

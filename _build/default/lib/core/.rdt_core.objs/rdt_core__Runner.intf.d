@@ -1,0 +1,1 @@
+lib/core/runner.mli: Format Rdt_ccp Rdt_gc Rdt_metrics Rdt_protocols Rdt_recovery Rdt_sim Sim_config Sim_msg

@@ -1,0 +1,1 @@
+lib/core/sim_config.ml: List Rdt_protocols Rdt_recovery Rdt_sim Rdt_workload

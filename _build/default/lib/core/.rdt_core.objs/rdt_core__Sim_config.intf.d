@@ -1,0 +1,1 @@
+lib/core/sim_config.mli: Rdt_protocols Rdt_recovery Rdt_sim Rdt_workload

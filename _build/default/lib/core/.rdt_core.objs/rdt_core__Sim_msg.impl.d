@@ -1,0 +1,1 @@
+lib/core/sim_msg.ml: Format List Rdt_gc Rdt_protocols

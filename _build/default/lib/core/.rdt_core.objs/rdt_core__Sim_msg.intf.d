@@ -1,0 +1,1 @@
+lib/core/sim_msg.mli: Format Rdt_gc Rdt_protocols

@@ -1,0 +1,1 @@
+lib/gc/global_gc.ml: Array Int List Rdt_storage Set

@@ -1,0 +1,1 @@
+lib/gc/global_gc.mli: Rdt_storage

@@ -1,0 +1,1 @@
+lib/gc/merged_fdas.ml: Array Option Rdt_protocols Rdt_storage

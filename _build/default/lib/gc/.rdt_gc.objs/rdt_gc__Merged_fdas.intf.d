@@ -1,0 +1,1 @@
+lib/gc/merged_fdas.mli: Rdt_protocols Rdt_storage

@@ -1,0 +1,1 @@
+lib/gc/oracle.ml: Fun List Rdt_ccp

@@ -1,0 +1,1 @@
+lib/gc/oracle.mli: Rdt_ccp

@@ -1,0 +1,1 @@
+lib/gc/rdt_lgc.ml: Array Format Global_gc Option Rdt_causality Rdt_protocols Rdt_storage

@@ -1,0 +1,1 @@
+lib/gc/rdt_lgc.mli: Format Rdt_causality Rdt_protocols Rdt_storage

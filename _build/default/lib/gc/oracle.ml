@@ -1,0 +1,25 @@
+module Ccp = Rdt_ccp.Ccp
+
+let witnesses ccp (c : Ccp.ckpt) =
+  if not (Ccp.is_stable ccp c) then
+    invalid_arg "Oracle: Theorem 1 characterizes stable checkpoints";
+  let successor : Ccp.ckpt = { pid = c.pid; index = c.index + 1 } in
+  let witness f =
+    let last_f = Ccp.last_stable_ckpt ccp f in
+    Ccp.precedes ccp last_f successor && not (Ccp.precedes ccp last_f c)
+  in
+  List.filter witness (List.init (Ccp.n ccp) Fun.id)
+
+let needed_by = witnesses
+
+let is_obsolete ccp c = witnesses ccp c = []
+
+let obsolete ccp = List.filter (is_obsolete ccp) (Ccp.stable_checkpoints ccp)
+
+let retained ccp ~pid =
+  List.filter_map
+    (fun index ->
+      if is_obsolete ccp { Ccp.pid; index } then None else Some index)
+    (List.init (Ccp.last_stable ccp pid + 1) Fun.id)
+
+let retained_count ccp ~pid = List.length (retained ccp ~pid)

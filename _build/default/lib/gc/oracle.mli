@@ -1,0 +1,31 @@
+(** Omniscient obsolescence oracle — Theorem 1 evaluated on the ground
+    truth CCP.
+
+    A stable checkpoint [s^gamma_i] is obsolete iff there is no process
+    [p_f] with [s^last_f -> c^(gamma+1)_i] and [s^last_f -/-> s^gamma_i].
+    This module evaluates that characterization using trace-derived vector
+    clocks (no dependency vectors), which makes it:
+
+    - the reference against which RDT-LGC's safety and optimality are
+      property-tested, and
+    - the idealized "instant global knowledge" upper baseline of the
+      storage experiments (no real collector can beat it).
+
+    Only meaningful on RD-trackable CCPs (Theorem 1's proof uses RDT). *)
+
+val obsolete : Rdt_ccp.Ccp.t -> Rdt_ccp.Ccp.ckpt list
+(** All obsolete stable checkpoints of the CCP. *)
+
+val is_obsolete : Rdt_ccp.Ccp.t -> Rdt_ccp.Ccp.ckpt -> bool
+(** Theorem 1 for one stable checkpoint.
+    @raise Invalid_argument if the checkpoint is volatile or absent. *)
+
+val retained : Rdt_ccp.Ccp.t -> pid:int -> int list
+(** Indices of the non-obsolete stable checkpoints of one process —
+    what an omniscient collector would keep. *)
+
+val retained_count : Rdt_ccp.Ccp.t -> pid:int -> int
+
+val needed_by : Rdt_ccp.Ccp.t -> Rdt_ccp.Ccp.ckpt -> int list
+(** The processes [p_f] witnessing non-obsolescence (empty iff obsolete);
+    diagnostic for tests and the CLI. *)

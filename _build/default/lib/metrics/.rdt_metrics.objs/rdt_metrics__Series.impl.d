@@ -1,0 +1,1 @@
+lib/metrics/series.ml: Float Format List Stats

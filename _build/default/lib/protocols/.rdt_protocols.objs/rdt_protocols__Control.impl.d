@@ -1,0 +1,1 @@
+lib/protocols/control.ml: Array Format

@@ -1,0 +1,1 @@
+lib/protocols/control.mli: Format

@@ -1,0 +1,1 @@
+lib/protocols/middleware.ml: Array Control List Printf Protocol Rdt_causality Rdt_ccp Rdt_storage

@@ -1,0 +1,1 @@
+lib/protocols/middleware.mli: Control Protocol Rdt_causality Rdt_ccp Rdt_storage

@@ -1,0 +1,1 @@
+lib/protocols/protocol.ml: Control List Rdt_causality

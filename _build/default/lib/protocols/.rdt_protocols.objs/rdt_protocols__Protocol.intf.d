@@ -1,0 +1,1 @@
+lib/protocols/protocol.mli: Control

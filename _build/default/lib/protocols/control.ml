@@ -1,0 +1,12 @@
+type t = { dv : int array; index : int }
+
+let make ~dv ~index = { dv = Array.copy dv; index }
+
+let size_words t = Array.length t.dv + 1
+
+let pp ppf t =
+  Format.fprintf ppf "{dv=(%a); idx=%d}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t.dv) t.index

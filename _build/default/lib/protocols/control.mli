@@ -1,0 +1,20 @@
+(** Control information piggybacked on application messages.
+
+    All the protocols in this library fit in one record: the dependency
+    vector (used by every RDT protocol here and by RDT-LGC) and a scalar
+    logical index (used by the index-based BCS protocol; zero elsewhere).
+    Keeping a single concrete type lets protocols be swapped at run time
+    without existential plumbing; the per-message control size reported by
+    the metrics accounts only for the fields a protocol actually reads. *)
+
+type t = {
+  dv : int array;  (** sender's dependency vector at send time *)
+  index : int;  (** sender's logical checkpoint index (BCS) *)
+}
+
+val make : dv:int array -> index:int -> t
+
+val size_words : t -> int
+(** Control size in machine words ([n + 1]); used for overhead metrics. *)
+
+val pp : Format.formatter -> t -> unit

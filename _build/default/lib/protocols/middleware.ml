@@ -1,0 +1,153 @@
+module Dependency_vector = Rdt_causality.Dependency_vector
+module Stable_store = Rdt_storage.Stable_store
+module Trace = Rdt_ccp.Trace
+
+type hooks = {
+  on_new_dependency : int -> unit;
+  on_checkpoint_stored : int -> unit;
+  on_rollback : li:int array -> unit;
+}
+
+let no_hooks =
+  {
+    on_new_dependency = (fun _ -> ());
+    on_checkpoint_stored = (fun _ -> ());
+    on_rollback = (fun ~li:_ -> ());
+  }
+
+type message = { msg_id : int; src : int; control : Control.t }
+
+type kind = Basic | Forced
+
+type t = {
+  n : int;
+  me : int;
+  proto : Protocol.instance;
+  proto_name : string;
+  trace : Trace.t;
+  store : Stable_store.t;
+  archive : Rdt_storage.Dv_archive.t;
+  dv : Dependency_vector.t;
+  ckpt_bytes : int;
+  mutable hooks : hooks;
+  mutable app_state : int;
+  mutable basic_count : int;
+  mutable forced_count : int;
+}
+
+(* Synthetic application state: a deterministic digest of the process's
+   communication history, so rollback restoration is observable. *)
+let evolve_state state tag =
+  let h = state lxor (tag * 0x9E3779B1) in
+  let h = h lxor (h lsr 16) in
+  h * 0x85EBCA6B land max_int
+
+let take_checkpoint t ~kind ~now =
+  let index = Dependency_vector.get t.dv t.me in
+  Stable_store.store t.store ~index
+    ~dv:(Dependency_vector.to_array t.dv)
+    ~now ~size_bytes:t.ckpt_bytes ~payload:t.app_state ();
+  Rdt_storage.Dv_archive.record t.archive ~index
+    ~dv:(Dependency_vector.to_array t.dv);
+  Trace.record_checkpoint t.trace ~pid:t.me ~index;
+  t.proto.Protocol.note_checkpoint ();
+  t.hooks.on_checkpoint_stored index;
+  Dependency_vector.increment t.dv t.me;
+  match kind with
+  | Basic -> t.basic_count <- t.basic_count + 1
+  | Forced -> t.forced_count <- t.forced_count + 1
+
+let create ~n ~me ~protocol ~trace ?(ckpt_bytes = 1) () =
+  let t =
+    {
+      n;
+      me;
+      proto = protocol.Protocol.make ~n ~me;
+      proto_name = protocol.Protocol.id;
+      trace;
+      store = Stable_store.create ~me;
+      archive = Rdt_storage.Dv_archive.create ~me;
+      dv = Dependency_vector.create ~n;
+      ckpt_bytes;
+      hooks = no_hooks;
+      app_state = me + 1;
+      basic_count = 0;
+      forced_count = 0;
+    }
+  in
+  (* every process starts its execution by storing s^0 *)
+  take_checkpoint t ~kind:Basic ~now:0.0;
+  t.basic_count <- 0;
+  t
+
+let set_hooks t hooks = t.hooks <- hooks
+
+let me t = t.me
+let n t = t.n
+let dv t = t.dv
+let store t = t.store
+let archive t = t.archive
+let protocol_name t = t.proto_name
+let current_interval t = Dependency_vector.get t.dv t.me
+let last_checkpoint_index t = Dependency_vector.get t.dv t.me - 1
+
+let basic_checkpoint t ~now =
+  take_checkpoint t ~kind:Basic ~now
+
+let prepare_send t ~dst ~now =
+  t.proto.Protocol.note_send ();
+  let control =
+    Control.make
+      ~dv:(Dependency_vector.to_array t.dv)
+      ~index:(t.proto.Protocol.control_index ())
+  in
+  let msg_id = Trace.fresh_msg_id t.trace in
+  Trace.record_send t.trace ~pid:t.me ~msg_id ~dst;
+  t.app_state <- evolve_state t.app_state ((2 * msg_id) + 1);
+  if t.proto.Protocol.force_after_send then take_checkpoint t ~kind:Forced ~now;
+  { msg_id; src = t.me; control }
+
+let receive t msg ~now =
+  let local_dv = Dependency_vector.to_array t.dv in
+  if t.proto.Protocol.need_forced ~local_dv ~incoming:msg.control then
+    take_checkpoint t ~kind:Forced ~now;
+  Trace.record_receive t.trace ~pid:t.me ~msg_id:msg.msg_id ~src:msg.src;
+  t.app_state <- evolve_state t.app_state (2 * msg.msg_id);
+  let changed = Dependency_vector.merge_from_message t.dv msg.control.dv in
+  List.iter t.hooks.on_new_dependency changed;
+  t.proto.Protocol.note_receive ~incoming:msg.control
+
+let rollback t ~to_index ~li =
+  (match Stable_store.find t.store ~index:to_index with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Middleware.rollback: p%d holds no s^%d" t.me to_index)
+  | Some entry ->
+    ignore (Stable_store.truncate_above t.store ~index:to_index);
+    Rdt_storage.Dv_archive.truncate_above t.archive ~index:to_index;
+    (* Algorithm 3 lines 4-6: recreate DV from the restored checkpoint *)
+    for j = 0 to t.n - 1 do
+      Dependency_vector.set t.dv j entry.Stable_store.dv.(j)
+    done;
+    Dependency_vector.increment t.dv t.me;
+    (* the volatile application state is replaced by the checkpointed one *)
+    t.app_state <- entry.Stable_store.payload);
+  Trace.truncate_to_checkpoint t.trace ~pid:t.me ~index:to_index;
+  (* a fresh interval starts: reset the protocol's interval state (for
+     index-based protocols this only advances the monotone index, which is
+     safe) *)
+  t.proto.Protocol.note_checkpoint ();
+  let li =
+    match li with Some li -> li | None -> Dependency_vector.to_array t.dv
+  in
+  t.hooks.on_rollback ~li
+
+let restart_after_crash t ~now:_ =
+  let last = Stable_store.last_index t.store in
+  rollback t ~to_index:last ~li:None
+
+let app_state t = t.app_state
+
+let basic_count t = t.basic_count
+let forced_count t = t.forced_count
+let checkpoint_count t = t.basic_count + t.forced_count + 1

@@ -1,0 +1,172 @@
+module Dependency_vector = Rdt_causality.Dependency_vector
+
+type instance = {
+  name : string;
+  need_forced : local_dv:int array -> incoming:Control.t -> bool;
+  force_after_send : bool;
+  note_send : unit -> unit;
+  note_receive : incoming:Control.t -> unit;
+  note_checkpoint : unit -> unit;
+  control_index : unit -> int;
+}
+
+type t = { id : string; rdt : bool; make : n:int -> me:int -> instance }
+
+let brings_new_dependency ~local_dv ~(incoming : Control.t) =
+  Dependency_vector.newer_entries ~local:local_dv ~incoming:incoming.dv <> []
+
+(* FDAS: the dependency vector is frozen from the first send of the
+   interval onward. *)
+let fdas =
+  {
+    id = "fdas";
+    rdt = true;
+    make =
+      (fun ~n:_ ~me:_ ->
+        let sent_in_interval = ref false in
+        {
+          name = "FDAS";
+          force_after_send = false;
+          need_forced =
+            (fun ~local_dv ~incoming ->
+              !sent_in_interval && brings_new_dependency ~local_dv ~incoming);
+          note_send = (fun () -> sent_in_interval := true);
+          note_receive = (fun ~incoming:_ -> ());
+          note_checkpoint = (fun () -> sent_in_interval := false);
+          control_index = (fun () -> 0);
+        });
+  }
+
+(* FDI: the dependency vector is frozen for the whole interval once any
+   communication event occurred in it. *)
+let fdi =
+  {
+    id = "fdi";
+    rdt = true;
+    make =
+      (fun ~n:_ ~me:_ ->
+        let event_in_interval = ref false in
+        {
+          name = "FDI";
+          force_after_send = false;
+          need_forced =
+            (fun ~local_dv ~incoming ->
+              !event_in_interval && brings_new_dependency ~local_dv ~incoming);
+          note_send = (fun () -> event_in_interval := true);
+          note_receive = (fun ~incoming:_ -> event_in_interval := true);
+          note_checkpoint = (fun () -> event_in_interval := false);
+          control_index = (fun () -> 0);
+        });
+  }
+
+(* BCS: logical checkpoint indices; receiving a higher index forces a
+   checkpoint so that the message is processed in an interval whose index
+   is at least the sender's.  BCS guarantees the absence of zigzag cycles
+   (no useless checkpoints) but NOT full RDT: a dependency arriving with a
+   non-increasing index after a send in the same interval creates an
+   untracked Z-path (our property tests exhibit such executions).  Kept as
+   the classic Z-cycle-free comparison point. *)
+let bcs =
+  {
+    id = "bcs";
+    rdt = false;
+    make =
+      (fun ~n:_ ~me:_ ->
+        let index = ref 0 in
+        {
+          name = "BCS";
+          force_after_send = false;
+          need_forced =
+            (fun ~local_dv:_ ~incoming -> incoming.Control.index > !index);
+          note_receive =
+            (fun ~incoming -> index := max !index incoming.Control.index);
+          note_send = (fun () -> ());
+          note_checkpoint = (fun () -> incr index);
+          control_index = (fun () -> !index);
+        });
+  }
+
+(* CBR: a forced checkpoint before every receive that carries new causal
+   information.  Every dependency lands in a fresh interval, so all zigzag
+   paths are causal. *)
+let cbr =
+  {
+    id = "cbr";
+    rdt = true;
+    make =
+      (fun ~n:_ ~me:_ ->
+        {
+          name = "CBR";
+          force_after_send = false;
+          need_forced =
+            (fun ~local_dv ~incoming ->
+              brings_new_dependency ~local_dv ~incoming);
+          note_send = (fun () -> ());
+          note_receive = (fun ~incoming:_ -> ());
+          note_checkpoint = (fun () -> ());
+          control_index = (fun () -> 0);
+        });
+  }
+
+let no_forced =
+  {
+    id = "none";
+    rdt = false;
+    make =
+      (fun ~n:_ ~me:_ ->
+        {
+          name = "no-forced";
+          force_after_send = false;
+          need_forced = (fun ~local_dv:_ ~incoming:_ -> false);
+          note_send = (fun () -> ());
+          note_receive = (fun ~incoming:_ -> ());
+          note_checkpoint = (fun () -> ());
+          control_index = (fun () -> 0);
+        });
+  }
+
+(* CAS: a forced checkpoint immediately after every send makes the send
+   the last event of its interval, so no message can be received before a
+   send of the same interval: every zigzag path is causal (strictly
+   Z-path free). *)
+let cas =
+  {
+    id = "cas";
+    rdt = true;
+    make =
+      (fun ~n:_ ~me:_ ->
+        {
+          name = "CAS";
+          force_after_send = true;
+          need_forced = (fun ~local_dv:_ ~incoming:_ -> false);
+          note_send = (fun () -> ());
+          note_receive = (fun ~incoming:_ -> ());
+          note_checkpoint = (fun () -> ());
+          control_index = (fun () -> 0);
+        });
+  }
+
+(* CASBR: the checkpoint between a send and the next receive is taken
+   lazily, just before the receive — same interval structure as CAS where
+   it matters, fewer checkpoints when several sends occur in a row. *)
+let casbr =
+  {
+    id = "casbr";
+    rdt = true;
+    make =
+      (fun ~n:_ ~me:_ ->
+        let sent_in_interval = ref false in
+        {
+          name = "CASBR";
+          force_after_send = false;
+          need_forced = (fun ~local_dv:_ ~incoming:_ -> !sent_in_interval);
+          note_send = (fun () -> sent_in_interval := true);
+          note_receive = (fun ~incoming:_ -> ());
+          note_checkpoint = (fun () -> sent_in_interval := false);
+          control_index = (fun () -> 0);
+        });
+  }
+
+let all = [ fdas; fdi; bcs; cbr; cas; casbr; no_forced ]
+let rdt_protocols = List.filter (fun p -> p.rdt) all
+let by_id id = List.find_opt (fun p -> p.id = id) all

@@ -1,0 +1,1 @@
+lib/recovery/recovery_line.ml: Array List Rdt_ccp Rdt_gc Rdt_storage

@@ -1,0 +1,1 @@
+lib/recovery/recovery_line.mli: Rdt_ccp Rdt_gc

@@ -1,0 +1,1 @@
+lib/recovery/session.ml: Array Format List Rdt_causality Rdt_gc Rdt_protocols Rdt_storage Recovery_line

@@ -1,0 +1,1 @@
+lib/recovery/session.mli: Format Rdt_gc Rdt_protocols

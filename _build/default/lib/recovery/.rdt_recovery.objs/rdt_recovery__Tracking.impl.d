@@ -1,0 +1,1 @@
+lib/recovery/tracking.ml: Array Hashtbl List Rdt_gc Rdt_storage

@@ -1,0 +1,1 @@
+lib/recovery/tracking.mli: Rdt_gc Rdt_storage

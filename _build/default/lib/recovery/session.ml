@@ -1,0 +1,62 @@
+module Middleware = Rdt_protocols.Middleware
+module Global_gc = Rdt_gc.Global_gc
+module Stable_store = Rdt_storage.Stable_store
+module Dependency_vector = Rdt_causality.Dependency_vector
+
+type knowledge = [ `Global | `Causal ]
+
+type report = {
+  faulty : int list;
+  line : int array;
+  rolled_back : int list;
+  checkpoints_rolled_back : int;
+}
+
+let snapshot_of mw =
+  {
+    Global_gc.entries = Array.of_list (Stable_store.retained (Middleware.store mw));
+    live_dv = Dependency_vector.to_array (Middleware.dv mw);
+  }
+
+let run ~middlewares ~faulty ~knowledge ~release_outdated =
+  let n = Array.length middlewares in
+  let snaps = Array.map snapshot_of middlewares in
+  let line = Recovery_line.from_snapshots snaps ~faulty in
+  let last = Array.map (fun mw -> Stable_store.last_index (Middleware.store mw)) middlewares in
+  (* LI in the post-rollback CCP: rolled-back processes end at their line
+     component, the others keep their last stable checkpoint *)
+  let li = Array.init n (fun j -> min line.(j) last.(j) + 1) in
+  let rolled = ref [] in
+  let undone = ref 0 in
+  for i = 0 to n - 1 do
+    let volatile = last.(i) + 1 in
+    undone := !undone + (volatile - line.(i));
+    if line.(i) <= last.(i) then begin
+      rolled := i :: !rolled;
+      let li_arg = match knowledge with `Global -> Some li | `Causal -> None in
+      Middleware.rollback middlewares.(i) ~to_index:line.(i) ~li:li_arg
+    end
+    else begin
+      match knowledge with
+      | `Global -> release_outdated i ~li
+      | `Causal -> ()
+    end
+  done;
+  {
+    faulty;
+    line;
+    rolled_back = List.rev !rolled;
+    checkpoints_rolled_back = !undone;
+  }
+
+let pp_report ppf r =
+  let pp_ints ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Format.pp_print_int ppf l
+  in
+  Format.fprintf ppf
+    "@[<h>recovery: faulty={%a} line=(%a) rolled_back={%a} undone=%d@]"
+    pp_ints r.faulty pp_ints
+    (Array.to_list r.line)
+    pp_ints r.rolled_back r.checkpoints_rolled_back

@@ -1,0 +1,174 @@
+module Global_gc = Rdt_gc.Global_gc
+module Stable_store = Rdt_storage.Stable_store
+module Dv_archive = Rdt_storage.Dv_archive
+
+type target = { pid : int; index : int }
+
+(* Internal view: a complete DV table per process, however it is backed. *)
+type view = {
+  n : int;
+  last : int array;  (* last stable checkpoint index per process *)
+  dv_at : int -> int -> int array;  (* pid -> checkpoint index -> DV *)
+  live : int -> int array;  (* pid -> DV of the volatile state *)
+}
+
+let view_of_snapshots snaps =
+  Array.iter
+    (fun (snap : Global_gc.snapshot) ->
+      if Array.length snap.entries = 0 then
+        invalid_arg "Tracking: empty snapshot";
+      Array.iteri
+        (fun pos (e : Stable_store.entry) ->
+          if e.index <> pos then
+            invalid_arg
+              "Tracking: snapshots must contain every checkpoint (use the \
+               archived variants when a collector is running)")
+        snap.entries)
+    snaps;
+  {
+    n = Array.length snaps;
+    last =
+      Array.map
+        (fun (s : Global_gc.snapshot) -> Array.length s.entries - 1)
+        snaps;
+    dv_at =
+      (fun pid index -> snaps.(pid).entries.(index).Stable_store.dv);
+    live = (fun pid -> snaps.(pid).Global_gc.live_dv);
+  }
+
+let view_of_archives ~archives ~live_dvs =
+  if Array.length archives <> Array.length live_dvs then
+    invalid_arg "Tracking: archives / live_dvs arity mismatch";
+  Array.iter
+    (fun a ->
+      if Dv_archive.count a = 0 then invalid_arg "Tracking: empty archive")
+    archives;
+  {
+    n = Array.length archives;
+    last = Array.map Dv_archive.last_index archives;
+    dv_at =
+      (fun pid index ->
+        match Dv_archive.find archives.(pid) ~index with
+        | Some dv -> dv
+        | None -> invalid_arg "Tracking: checkpoint index out of range");
+    live = (fun pid -> live_dvs.(pid));
+  }
+
+let volatile_index v pid = v.last.(pid) + 1
+
+let dv_of v { pid; index } =
+  if index < 0 || index > volatile_index v pid then
+    invalid_arg "Tracking: checkpoint index out of range";
+  if index <= v.last.(pid) then v.dv_at pid index else v.live pid
+
+(* Equation 2, extended to volatile checkpoints (which precede nothing). *)
+let precedes_v v a b =
+  if a.pid = b.pid then a.index < b.index
+  else if a.index > v.last.(a.pid) then false
+  else a.index < (dv_of v b).(a.pid)
+
+let consistent_pair_v v a b =
+  (not (precedes_v v a b)) && not (precedes_v v b a)
+
+let check_targets v targets =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      if t.pid < 0 || t.pid >= v.n then invalid_arg "Tracking: bad target pid";
+      if t.index < 0 || t.index > volatile_index v t.pid then
+        invalid_arg "Tracking: bad target index";
+      if Hashtbl.mem seen t.pid then
+        invalid_arg "Tracking: two targets on one process";
+      Hashtbl.add seen t.pid t.index)
+    targets;
+  seen
+
+let verify_consistent v (global : int array) =
+  let ok = ref true in
+  for i = 0 to v.n - 1 do
+    for j = 0 to v.n - 1 do
+      if
+        i <> j
+        && precedes_v v { pid = i; index = global.(i) }
+             { pid = j; index = global.(j) }
+      then ok := false
+    done
+  done;
+  !ok
+
+let build v targets ~component =
+  let fixed = check_targets v targets in
+  if
+    not
+      (List.for_all
+         (fun a ->
+           List.for_all (fun b -> a = b || consistent_pair_v v a b) targets)
+         targets)
+  then None
+  else begin
+    let global =
+      Array.init v.n (fun pid ->
+          match Hashtbl.find_opt fixed pid with
+          | Some index -> index
+          | None -> component pid)
+    in
+    (* Wang's closed forms are exact on RD-trackable patterns; a failure
+       here means the input was not RDT (or the DV table incomplete). *)
+    if verify_consistent v global then Some global
+    else
+      failwith
+        "Tracking: closed form produced an inconsistent global checkpoint \
+         — is the execution RD-trackable?"
+  end
+
+let max_component v targets pid =
+  (* last checkpoint preceded by no target; the violating set is upward
+     closed in the index *)
+  let rec scan gamma =
+    if gamma < 0 then
+      invalid_arg "Tracking: no admissible checkpoint (malformed pattern)"
+    else if
+      List.exists
+        (fun s ->
+          precedes_v v { pid = s.pid; index = s.index } { pid; index = gamma })
+        targets
+    then scan (gamma - 1)
+    else gamma
+  in
+  scan (volatile_index v pid)
+
+let min_component v targets pid =
+  (* first checkpoint that precedes no target; the violating set is
+     downward closed in the index *)
+  let rec scan gamma =
+    if gamma > volatile_index v pid then
+      invalid_arg "Tracking: no admissible checkpoint (malformed pattern)"
+    else if
+      List.exists
+        (fun s ->
+          precedes_v v { pid; index = gamma } { pid = s.pid; index = s.index })
+        targets
+    then scan (gamma + 1)
+    else gamma
+  in
+  scan 0
+
+(* --- public API -------------------------------------------------------- *)
+
+let max_consistent_containing snaps targets =
+  let v = view_of_snapshots snaps in
+  build v targets ~component:(max_component v targets)
+
+let min_consistent_containing snaps targets =
+  let v = view_of_snapshots snaps in
+  build v targets ~component:(min_component v targets)
+
+let consistent_pair snaps a b = consistent_pair_v (view_of_snapshots snaps) a b
+
+let max_consistent_containing_archived ~archives ~live_dvs targets =
+  let v = view_of_archives ~archives ~live_dvs in
+  build v targets ~component:(max_component v targets)
+
+let min_consistent_containing_archived ~archives ~live_dvs targets =
+  let v = view_of_archives ~archives ~live_dvs in
+  build v targets ~component:(min_component v targets)

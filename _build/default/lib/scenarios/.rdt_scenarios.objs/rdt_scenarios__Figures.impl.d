@@ -1,0 +1,1 @@
+lib/scenarios/figures.ml: Fun List Rdt_ccp Rdt_protocols Script

@@ -1,0 +1,1 @@
+lib/scenarios/figures.mli: Rdt_ccp Rdt_protocols Script

@@ -1,0 +1,1 @@
+lib/scenarios/script.ml: Array Rdt_causality Rdt_ccp Rdt_gc Rdt_protocols Rdt_storage

@@ -1,0 +1,1 @@
+lib/scenarios/script.mli: Rdt_ccp Rdt_gc Rdt_protocols Rdt_storage

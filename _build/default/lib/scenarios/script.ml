@@ -1,0 +1,75 @@
+module Middleware = Rdt_protocols.Middleware
+module Rdt_lgc = Rdt_gc.Rdt_lgc
+module Stable_store = Rdt_storage.Stable_store
+module Dependency_vector = Rdt_causality.Dependency_vector
+module Trace = Rdt_ccp.Trace
+module Ccp = Rdt_ccp.Ccp
+
+type t = {
+  n : int;
+  trace : Trace.t;
+  middlewares : Middleware.t array;
+  collectors : Rdt_lgc.t option array;
+  mutable clock : float;
+}
+
+type msg = {
+  payload : Middleware.message;
+  dst : int;
+  mutable delivered : bool;
+}
+
+let create ~n ~protocol ~with_lgc =
+  let trace = Trace.create ~n in
+  let middlewares =
+    Array.init n (fun me -> Middleware.create ~n ~me ~protocol ~trace ())
+  in
+  let collectors =
+    Array.init n (fun me ->
+        if with_lgc then begin
+          let mw = middlewares.(me) in
+          let lgc =
+            Rdt_lgc.create ~me ~store:(Middleware.store mw)
+              ~dv:(Middleware.dv mw) ~n
+          in
+          Rdt_lgc.attach lgc mw;
+          Some lgc
+        end
+        else None)
+  in
+  { n; trace; middlewares; collectors; clock = 0.0 }
+
+let n t = t.n
+
+let tick t =
+  t.clock <- t.clock +. 1.0;
+  t.clock
+
+let checkpoint t pid =
+  Middleware.basic_checkpoint t.middlewares.(pid) ~now:(tick t)
+
+let send t ~src ~dst =
+  let payload = Middleware.prepare_send t.middlewares.(src) ~dst ~now:(tick t) in
+  { payload; dst; delivered = false }
+
+let deliver t msg =
+  if msg.delivered then invalid_arg "Script.deliver: already delivered";
+  msg.delivered <- true;
+  Middleware.receive t.middlewares.(msg.dst) msg.payload ~now:(tick t)
+
+let transfer t ~src ~dst = deliver t (send t ~src ~dst)
+
+let middleware t pid = t.middlewares.(pid)
+let collector t pid = t.collectors.(pid)
+let store t pid = Middleware.store t.middlewares.(pid)
+let dv t pid = Dependency_vector.to_array (Middleware.dv t.middlewares.(pid))
+
+let uc t pid =
+  match t.collectors.(pid) with
+  | Some lgc -> Rdt_lgc.uc_view lgc
+  | None -> invalid_arg "Script.uc: no collector attached"
+
+let retained t pid = Stable_store.retained_indices (store t pid)
+let trace t = t.trace
+let ccp t = Ccp.of_trace t.trace
+let forced_taken t pid = Middleware.forced_count t.middlewares.(pid)

@@ -1,0 +1,52 @@
+(** Scripted executions: drive real middleware (and optionally RDT-LGC)
+    through an explicit sequence of sends, receives and checkpoints,
+    without the discrete-event engine.
+
+    Used to transcribe the paper's space-time diagrams event by event —
+    the figures fix exact interleavings that a random simulation would
+    never reproduce.  Virtual time advances by one unit per operation. *)
+
+type t
+
+val create :
+  n:int -> protocol:Rdt_protocols.Protocol.t -> with_lgc:bool -> t
+(** Fresh system; every process has stored its initial checkpoint and,
+    when [with_lgc], has an attached RDT-LGC collector. *)
+
+val n : t -> int
+
+val checkpoint : t -> int -> unit
+(** Basic checkpoint of one process. *)
+
+type msg
+(** An in-flight message. *)
+
+val send : t -> src:int -> dst:int -> msg
+val deliver : t -> msg -> unit
+(** @raise Invalid_argument if already delivered or wrong script order
+    (delivery is to the destination given at send time). *)
+
+val transfer : t -> src:int -> dst:int -> unit
+(** [send] immediately followed by [deliver] — for diagram arrows with no
+    crossing. *)
+
+val middleware : t -> int -> Rdt_protocols.Middleware.t
+val collector : t -> int -> Rdt_gc.Rdt_lgc.t option
+val store : t -> int -> Rdt_storage.Stable_store.t
+
+val dv : t -> int -> int array
+(** Current dependency vector of one process. *)
+
+val uc : t -> int -> int option array
+(** Current UC view (requires [with_lgc]).
+    @raise Invalid_argument otherwise. *)
+
+val retained : t -> int -> int list
+(** Currently retained checkpoint indices of one process. *)
+
+val trace : t -> Rdt_ccp.Trace.t
+val ccp : t -> Rdt_ccp.Ccp.t
+
+val forced_taken : t -> int -> int
+(** Forced checkpoints the protocol has injected at one process (scripts
+    that transcribe figures usually assert this stays zero). *)

@@ -1,0 +1,134 @@
+type 'msg event =
+  | Deliver of { src : int; dst : int; payload : 'msg; epoch : int }
+  | Action of { owner : int option; f : unit -> unit }
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable dropped_down : int;
+  mutable flushed : int;
+  mutable events : int;
+}
+
+type 'msg t = {
+  n : int;
+  rng : Prng.t;
+  net : Network.t;
+  queue : 'msg event Event_queue.t;
+  mutable clock : float;
+  mutable epoch : int;  (* bumped by flush_in_flight; stale deliveries die *)
+  up : bool array;
+  receivers : (src:int -> 'msg -> unit) option array;
+  stats : stats;
+}
+
+let create ~n ~seed ~net () =
+  if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  let rng = Prng.create ~seed in
+  {
+    n;
+    rng;
+    net = Network.create net ~n ~rng:(Prng.split rng);
+    queue = Event_queue.create ();
+    clock = 0.0;
+    epoch = 0;
+    up = Array.make n true;
+    receivers = Array.make n None;
+    stats =
+      {
+        sent = 0;
+        delivered = 0;
+        lost = 0;
+        dropped_down = 0;
+        flushed = 0;
+        events = 0;
+      };
+  }
+
+let n t = t.n
+let now t = t.clock
+let rng t = t.rng
+let network t = t.net
+let stats t = t.stats
+
+let set_receiver t p f =
+  if p < 0 || p >= t.n then invalid_arg "Engine.set_receiver: bad pid";
+  t.receivers.(p) <- Some f
+
+let send t ?(reliable = false) ~src ~dst msg =
+  if dst < 0 || dst >= t.n then invalid_arg "Engine.send: bad destination";
+  t.stats.sent <- t.stats.sent + 1;
+  let delivery =
+    match Network.delivery_time t.net ~src ~dst ~now:t.clock with
+    | None when reliable ->
+      (* reliable control channel: retransmission is abstracted away as a
+         delivery at the far end of the delay range *)
+      Some (t.clock +. (Network.config t.net).Network.max_delay)
+    | d -> d
+  in
+  match delivery with
+  | None -> t.stats.lost <- t.stats.lost + 1
+  | Some at ->
+    ignore
+      (Event_queue.add t.queue ~time:at
+         (Deliver { src; dst; payload = msg; epoch = t.epoch }))
+
+let schedule t ?owner ~at f =
+  if at < t.clock then invalid_arg "Engine.schedule: time in the past";
+  Event_queue.add t.queue ~time:at (Action { owner; f })
+
+let schedule_in t ?owner ~delay f = schedule t ?owner ~at:(t.clock +. delay) f
+
+let cancel t h = Event_queue.cancel t.queue h
+
+let is_up t p = t.up.(p)
+let set_up t p b = t.up.(p) <- b
+
+let flush_in_flight t =
+  t.epoch <- t.epoch + 1;
+  Network.reset_order t.net
+
+let execute t = function
+  | Action { owner; f } -> begin
+    match owner with
+    | Some p when not t.up.(p) -> ()
+    | Some _ | None -> f ()
+  end
+  | Deliver { src; dst; payload; epoch } ->
+    if epoch <> t.epoch then t.stats.flushed <- t.stats.flushed + 1
+    else if not t.up.(dst) then
+      t.stats.dropped_down <- t.stats.dropped_down + 1
+    else begin
+      match t.receivers.(dst) with
+      | None -> invalid_arg "Engine: delivery to process without receiver"
+      | Some f ->
+        t.stats.delivered <- t.stats.delivered + 1;
+        f ~src payload
+    end
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock <- Float.max t.clock time;
+    t.stats.events <- t.stats.events + 1;
+    execute t ev;
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> not (Event_queue.is_empty t.queue)
+    | Some limit -> begin
+      match Event_queue.peek_time t.queue with
+      | None -> false
+      | Some next -> next <= limit
+    end
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | Some _ | None -> ()

@@ -1,0 +1,109 @@
+(* Binary min-heap over (time, seq).  Cancellation is lazy: a cancelled
+   entry stays in the heap with its [live] flag cleared and is dropped when
+   popped, which keeps all operations O(log n) amortized. *)
+
+type 'a entry = {
+  time : float;
+  seq : int;
+  value : 'a;
+  mutable live : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live_count : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0; live_count = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let new_capacity = max 16 (2 * capacity) in
+    let data = Array.make new_capacity entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let add t ~time value =
+  let entry = { time; seq = t.next_seq; value; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live_count <- t.live_count + 1;
+  sift_up t (t.size - 1);
+  H entry
+
+let cancel t (H entry) =
+  if entry.live then begin
+    entry.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let pop_entry t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let rec pop t =
+  match pop_entry t with
+  | None -> None
+  | Some entry ->
+    if entry.live then begin
+      t.live_count <- t.live_count - 1;
+      Some (entry.time, entry.value)
+    end
+    else pop t
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    if top.live then Some top.time
+    else begin
+      ignore (pop_entry t);
+      peek_time t
+    end
+  end
+
+let is_empty t = t.live_count = 0
+
+let length t = t.live_count

@@ -1,0 +1,34 @@
+(** Priority queue of timed events for the discrete-event engine.
+
+    Events are ordered by timestamp; ties are broken by a monotonically
+    increasing sequence number assigned at insertion, so the execution order
+    of simultaneous events is deterministic (insertion order).  Entries can
+    be cancelled lazily via the handle returned by {!add}. *)
+
+type 'a t
+
+type handle
+(** Token identifying a scheduled entry; used for cancellation. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> handle
+(** [add q ~time v] schedules [v] at [time] and returns its handle. *)
+
+val cancel : 'a t -> handle -> unit
+(** [cancel q h] marks the entry as cancelled; it will be skipped when it
+    reaches the head of the queue.  Cancelling twice, or cancelling an
+    already-popped entry, is a no-op. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest non-cancelled entry, or [None] if the
+    queue is (effectively) empty. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest non-cancelled entry, without removing it. *)
+
+val is_empty : 'a t -> bool
+(** [true] iff no non-cancelled entry remains. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) entries. *)

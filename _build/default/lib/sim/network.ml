@@ -1,0 +1,53 @@
+type config = {
+  min_delay : float;
+  max_delay : float;
+  loss_probability : float;
+  fifo : bool;
+}
+
+let default =
+  { min_delay = 0.5; max_delay = 1.5; loss_probability = 0.0; fifo = false }
+
+let pp_config ppf c =
+  Format.fprintf ppf "@[<h>delay=[%g,%g) loss=%g %s@]" c.min_delay c.max_delay
+    c.loss_probability
+    (if c.fifo then "fifo" else "non-fifo")
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  n : int;
+  (* last scheduled delivery time per directed channel, for FIFO order *)
+  channel_clock : float array;
+}
+
+let create cfg ~n ~rng =
+  if cfg.min_delay < 0.0 || cfg.max_delay < cfg.min_delay then
+    invalid_arg "Network.create: bad delay bounds";
+  if cfg.loss_probability < 0.0 || cfg.loss_probability > 1.0 then
+    invalid_arg "Network.create: bad loss probability";
+  { cfg; rng; n; channel_clock = Array.make (n * n) neg_infinity }
+
+let config t = t.cfg
+
+let delivery_time t ~src ~dst ~now =
+  if t.cfg.loss_probability > 0.0
+     && Prng.bernoulli t.rng ~p:t.cfg.loss_probability
+  then None
+  else begin
+    let delay =
+      if t.cfg.max_delay > t.cfg.min_delay then
+        Prng.uniform_in t.rng ~lo:t.cfg.min_delay ~hi:t.cfg.max_delay
+      else t.cfg.min_delay
+    in
+    let at = now +. delay in
+    if t.cfg.fifo then begin
+      let key = (src * t.n) + dst in
+      let at = Float.max at t.channel_clock.(key) in
+      t.channel_clock.(key) <- at;
+      Some at
+    end
+    else Some at
+  end
+
+let reset_order t = Array.fill t.channel_clock 0 (t.n * t.n) neg_infinity

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator flows through a [Prng.t]
+    seeded explicitly, so that a simulation is a pure function of its
+    configuration.  The generator is splittable: independent sub-streams can
+    be derived for sub-components (per-process workloads, the network, fault
+    injection) so that adding randomness consumption to one component does
+    not perturb the others. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator deterministically derived from
+    [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator.  The state of [t] advances,
+    but the returned stream is statistically independent from the values
+    subsequently drawn from [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output of the underlying splitmix64 stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed positive float with the given mean; used for
+    Poisson message/checkpoint processes. *)
+
+val uniform_in : t -> lo:float -> hi:float -> float
+(** Uniform float in [\[lo, hi)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

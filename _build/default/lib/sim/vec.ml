@@ -1,0 +1,69 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let check t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let push t v =
+  if t.size = Array.length t.data then begin
+    let data = Array.make (max 8 (2 * t.size)) v in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    t.size <- t.size - 1;
+    Some t.data.(t.size)
+  end
+
+let last t = if t.size = 0 then None else Some t.data.(t.size - 1)
+
+let truncate t len =
+  if len < 0 then invalid_arg "Vec.truncate: negative length";
+  if len < t.size then t.size <- len
+
+let clear t = t.size <- 0
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.size && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t = List.init t.size (fun i -> t.data.(i))
+let to_array t = Array.sub t.data 0 t.size
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t

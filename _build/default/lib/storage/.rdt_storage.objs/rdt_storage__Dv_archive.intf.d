@@ -1,0 +1,1 @@
+lib/storage/dv_archive.mli:

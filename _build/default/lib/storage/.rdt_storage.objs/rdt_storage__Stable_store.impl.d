@@ -1,0 +1,1 @@
+lib/storage/stable_store.ml: Array Format Int List Map Printf

@@ -1,0 +1,38 @@
+module Vec = struct
+  (* minimal growable array, local to avoid a dependency cycle *)
+  type 'a t = { mutable data : 'a array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let push t v =
+    if t.size = Array.length t.data then begin
+      let data = Array.make (max 8 (2 * t.size)) v in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end;
+    t.data.(t.size) <- v;
+    t.size <- t.size + 1
+end
+
+type t = { me : int; vectors : int array Vec.t }
+
+let create ~me = { me; vectors = Vec.create () }
+let me t = t.me
+
+let record t ~index ~dv =
+  if index <> t.vectors.Vec.size then
+    invalid_arg
+      (Printf.sprintf "Dv_archive.record: p%d expected index %d, got %d" t.me
+         t.vectors.Vec.size index);
+  Vec.push t.vectors (Array.copy dv)
+
+let truncate_above t ~index =
+  if index + 1 < t.vectors.Vec.size then t.vectors.Vec.size <- index + 1
+
+let last_index t = t.vectors.Vec.size - 1
+
+let find t ~index =
+  if index < 0 || index >= t.vectors.Vec.size then None
+  else Some t.vectors.Vec.data.(index)
+
+let count t = t.vectors.Vec.size

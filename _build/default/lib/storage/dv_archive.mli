@@ -1,0 +1,34 @@
+(** Archive of dependency vectors, one per checkpoint ever taken.
+
+    Garbage collection eliminates checkpoint *states* (which are large);
+    the dependency vectors stored with them are [n] machine words each and
+    can be kept forever at negligible cost.  Keeping them preserves the
+    ability to answer causality queries about collected checkpoints —
+    which is what the decentralized min/max consistent-global-checkpoint
+    computations ({!Rdt_recovery.Tracking}) need to work alongside an
+    aggressive collector.
+
+    A rollback rewinds the archive too ({!truncate_above}): the undone
+    checkpoints never existed as far as future queries are concerned. *)
+
+type t
+
+val create : me:int -> t
+val me : t -> int
+
+val record : t -> index:int -> dv:int array -> unit
+(** Archive the vector stored with checkpoint [s^index].
+    @raise Invalid_argument unless [index] is exactly one past the last
+    recorded index (checkpoints are taken in order). *)
+
+val truncate_above : t -> index:int -> unit
+(** Forget every archived vector with index strictly greater than
+    [index]. *)
+
+val last_index : t -> int
+(** Greatest archived index; [-1] when empty. *)
+
+val find : t -> index:int -> int array option
+(** The archived vector (not a copy — do not mutate). *)
+
+val count : t -> int

@@ -1,0 +1,101 @@
+type entry = {
+  index : int;
+  dv : int array;
+  taken_at : float;
+  size_bytes : int;
+  payload : int;
+}
+
+type stats = {
+  stored_total : int;
+  eliminated_total : int;
+  peak_count : int;
+  peak_bytes : int;
+}
+
+module Int_map = Map.Make (Int)
+
+type t = {
+  me : int;
+  mutable entries : entry Int_map.t;
+  mutable bytes : int;
+  mutable stored_total : int;
+  mutable eliminated_total : int;
+  mutable peak_count : int;
+  mutable peak_bytes : int;
+}
+
+let create ~me =
+  {
+    me;
+    entries = Int_map.empty;
+    bytes = 0;
+    stored_total = 0;
+    eliminated_total = 0;
+    peak_count = 0;
+    peak_bytes = 0;
+  }
+
+let me t = t.me
+
+let last_index t =
+  match Int_map.max_binding_opt t.entries with
+  | None -> -1
+  | Some (index, _) -> index
+
+let store t ~index ~dv ~now ~size_bytes ?(payload = 0) () =
+  if index <= last_index t then
+    invalid_arg
+      (Printf.sprintf
+         "Stable_store.store: p%d writing s^%d but already holds s^%d" t.me
+         index (last_index t));
+  let entry =
+    { index; dv = Array.copy dv; taken_at = now; size_bytes; payload }
+  in
+  t.entries <- Int_map.add index entry t.entries;
+  t.bytes <- t.bytes + size_bytes;
+  t.stored_total <- t.stored_total + 1;
+  t.peak_count <- max t.peak_count (Int_map.cardinal t.entries);
+  t.peak_bytes <- max t.peak_bytes t.bytes
+
+let eliminate t ~index =
+  match Int_map.find_opt index t.entries with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Stable_store.eliminate: p%d does not hold s^%d" t.me
+         index)
+  | Some entry ->
+    t.entries <- Int_map.remove index t.entries;
+    t.bytes <- t.bytes - entry.size_bytes;
+    t.eliminated_total <- t.eliminated_total + 1
+
+let truncate_above t ~index =
+  let doomed =
+    Int_map.fold
+      (fun idx _ acc -> if idx > index then idx :: acc else acc)
+      t.entries []
+  in
+  List.iter (fun idx -> eliminate t ~index:idx) doomed;
+  List.length doomed
+
+let mem t ~index = Int_map.mem index t.entries
+let find t ~index = Int_map.find_opt index t.entries
+let retained t = List.map snd (Int_map.bindings t.entries)
+let retained_indices t = List.map fst (Int_map.bindings t.entries)
+let count t = Int_map.cardinal t.entries
+let bytes t = t.bytes
+
+let stats t =
+  {
+    stored_total = t.stored_total;
+    eliminated_total = t.eliminated_total;
+    peak_count = t.peak_count;
+    peak_bytes = t.peak_bytes;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "p%d:{%a}" t.me
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (retained_indices t)

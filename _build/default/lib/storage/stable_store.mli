@@ -1,0 +1,69 @@
+(** Per-process stable-storage model.
+
+    Holds the stable checkpoints a process currently retains, together with
+    the dependency vector stored alongside each one (the paper stores DV
+    with every checkpoint for recovery purposes).  Storage survives
+    crashes; garbage collectors call {!eliminate} and rollbacks call
+    {!truncate_above}.  The module keeps byte and count accounting so the
+    space-overhead experiments can report peak and current usage. *)
+
+type entry = {
+  index : int;  (** checkpoint index gamma of [s^gamma] *)
+  dv : int array;  (** dependency vector stored with the checkpoint *)
+  taken_at : float;  (** virtual time at which it was stored *)
+  size_bytes : int;  (** synthetic application-state size *)
+  payload : int;
+      (** the checkpointed application state itself (synthetic: a
+          deterministic digest of the process's history) — what a rollback
+          restores *)
+}
+
+type stats = {
+  stored_total : int;  (** checkpoints ever written *)
+  eliminated_total : int;  (** checkpoints ever collected *)
+  peak_count : int;  (** maximum simultaneously retained *)
+  peak_bytes : int;
+}
+
+type t
+
+val create : me:int -> t
+
+val me : t -> int
+
+val store :
+  t ->
+  index:int ->
+  dv:int array ->
+  now:float ->
+  size_bytes:int ->
+  ?payload:int ->
+  unit ->
+  unit
+(** Writes [s^index].
+    @raise Invalid_argument if the index is already present or is not
+    greater than every retained index (checkpoints are written in order;
+    after a rollback the undone ones are truncated first). *)
+
+val eliminate : t -> index:int -> unit
+(** Collects one checkpoint.  @raise Invalid_argument if not retained. *)
+
+val truncate_above : t -> index:int -> int
+(** Eliminates every retained checkpoint with index strictly greater than
+    [index] (a rollback to [s^index]); returns how many were removed. *)
+
+val mem : t -> index:int -> bool
+val find : t -> index:int -> entry option
+
+val last_index : t -> int
+(** Greatest retained index; [-1] when empty. *)
+
+val retained : t -> entry list
+(** Retained checkpoints, in increasing index order. *)
+
+val retained_indices : t -> int list
+val count : t -> int
+val bytes : t -> int
+val stats : t -> stats
+
+val pp : Format.formatter -> t -> unit

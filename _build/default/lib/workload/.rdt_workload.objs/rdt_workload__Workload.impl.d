@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Fun List Printf Rdt_sim String

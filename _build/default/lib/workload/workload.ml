@@ -1,0 +1,112 @@
+module Prng = Rdt_sim.Prng
+
+type pattern =
+  | Uniform
+  | Ring
+  | Client_server of { servers : int }
+  | Pipeline
+  | Broadcast
+  | Bursty of { burst : int }
+
+let pattern_of_string s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Some Uniform
+  | "ring" -> Some Ring
+  | "pipeline" -> Some Pipeline
+  | "broadcast" -> Some Broadcast
+  | s -> begin
+    match String.split_on_char ':' s with
+    | [ "client-server"; k ] -> begin
+      match int_of_string_opt k with
+      | Some servers when servers > 0 -> Some (Client_server { servers })
+      | Some _ | None -> None
+    end
+    | [ "bursty"; k ] -> begin
+      match int_of_string_opt k with
+      | Some burst when burst > 0 -> Some (Bursty { burst })
+      | Some _ | None -> None
+    end
+    | _ -> None
+  end
+
+let pattern_name = function
+  | Uniform -> "uniform"
+  | Ring -> "ring"
+  | Client_server { servers } -> Printf.sprintf "client-server:%d" servers
+  | Pipeline -> "pipeline"
+  | Broadcast -> "broadcast"
+  | Bursty { burst } -> Printf.sprintf "bursty:%d" burst
+
+type config = {
+  pattern : pattern;
+  send_mean_interval : float;
+  basic_ckpt_mean_interval : float;
+  reply_probability : float;
+}
+
+let default =
+  {
+    pattern = Uniform;
+    send_mean_interval = 1.0;
+    basic_ckpt_mean_interval = 5.0;
+    reply_probability = 0.3;
+  }
+
+type t = { cfg : config; n : int; rng : Prng.t }
+
+let create cfg ~n ~rng =
+  if n < 2 then invalid_arg "Workload.create: need at least two processes";
+  if cfg.send_mean_interval <= 0.0 || cfg.basic_ckpt_mean_interval <= 0.0 then
+    invalid_arg "Workload.create: intervals must be positive";
+  (match cfg.pattern with
+  | Client_server { servers } ->
+    if servers <= 0 || servers >= n then
+      invalid_arg "Workload.create: server count out of range"
+  | Bursty { burst } ->
+    if burst <= 0 then invalid_arg "Workload.create: burst must be positive"
+  | Uniform | Ring | Pipeline | Broadcast -> ());
+  { cfg; n; rng }
+
+let config t = t.cfg
+
+let next_send_delay t ~me:_ =
+  Prng.exponential t.rng ~mean:t.cfg.send_mean_interval
+
+let next_basic_ckpt_delay t ~me:_ =
+  Prng.exponential t.rng ~mean:t.cfg.basic_ckpt_mean_interval
+
+let random_peer t ~me =
+  let other = Prng.int t.rng (t.n - 1) in
+  if other >= me then other + 1 else other
+
+let destinations t ~me =
+  match t.cfg.pattern with
+  | Uniform -> [ random_peer t ~me ]
+  | Bursty { burst } -> List.init burst (fun _ -> random_peer t ~me)
+  | Ring -> [ (me + 1) mod t.n ]
+  | Pipeline -> if me + 1 < t.n then [ me + 1 ] else []
+  | Broadcast -> List.filter (fun p -> p <> me) (List.init t.n Fun.id)
+  | Client_server { servers } ->
+    if me < servers then begin
+      (* a server spontaneously gossips to another server when possible *)
+      if servers > 1 then begin
+        let other = Prng.int t.rng (servers - 1) in
+        [ (if other >= me then other + 1 else other) ]
+      end
+      else []
+    end
+    else [ Prng.int t.rng servers ] (* client calls a random server *)
+
+let reply_destinations t ~me ~src =
+  if src = me then []
+  else if not (Prng.bernoulli t.rng ~p:t.cfg.reply_probability) then []
+  else begin
+    match t.cfg.pattern with
+    | Uniform | Bursty _ -> [ src ]
+    | Ring -> [ (me + 1) mod t.n ]
+    | Pipeline -> if me + 1 < t.n then [ me + 1 ] else []
+    | Broadcast -> [ src ]
+    | Client_server { servers } ->
+      if me < servers then [ src ] (* server answers the client *)
+      else [ Prng.int t.rng servers ] (* client follows up with a server *)
+  end

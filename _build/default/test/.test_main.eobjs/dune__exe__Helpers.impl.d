@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format List Rdt_causality Rdt_ccp Rdt_core Rdt_gc Rdt_protocols Rdt_recovery Rdt_sim Rdt_storage Rdt_workload String

@@ -1,0 +1,1 @@
+test/test_causality.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Rdt_causality String

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Fun Gen Helpers Printf QCheck QCheck_alcotest Rdt_ccp Rdt_scenarios Rdt_sim

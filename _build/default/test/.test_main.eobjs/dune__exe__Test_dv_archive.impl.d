@@ -1,0 +1,1 @@
+test/test_dv_archive.ml: Alcotest Array Rdt_protocols Rdt_scenarios Rdt_storage

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Helpers List Printf Rdt_ccp Rdt_core Rdt_gc Rdt_protocols Rdt_recovery Rdt_scenarios Rdt_sim Rdt_storage Rdt_workload

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest List Rdt_sim

@@ -1,0 +1,1 @@
+test/test_merged_fdas.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Rdt_gc Rdt_protocols Rdt_scenarios Rdt_sim Rdt_storage

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array List Option Printf Rdt_ccp Rdt_protocols Rdt_scenarios Rdt_storage

@@ -1,0 +1,1 @@
+test/test_rdt_check.ml: Alcotest Gen Helpers List Printf QCheck QCheck_alcotest Rdt_ccp Rdt_core Rdt_protocols Rdt_scenarios

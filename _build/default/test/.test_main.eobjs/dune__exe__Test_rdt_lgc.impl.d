@@ -1,0 +1,1 @@
+test/test_rdt_lgc.ml: Alcotest Array Gen Helpers List Printf QCheck QCheck_alcotest Rdt_ccp Rdt_core Rdt_gc Rdt_protocols Rdt_recovery Rdt_scenarios Rdt_storage

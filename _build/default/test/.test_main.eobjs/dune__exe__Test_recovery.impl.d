@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Fun List Printf Rdt_ccp Rdt_gc Rdt_protocols Rdt_recovery Rdt_scenarios Rdt_storage String

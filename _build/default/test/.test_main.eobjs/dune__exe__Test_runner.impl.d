@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Helpers List Rdt_core Rdt_metrics Rdt_protocols Rdt_sim Rdt_storage Rdt_workload

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Array Fun Gen Hashtbl Helpers List QCheck QCheck_alcotest Rdt_ccp Rdt_core Rdt_gc Rdt_protocols Rdt_recovery Rdt_sim

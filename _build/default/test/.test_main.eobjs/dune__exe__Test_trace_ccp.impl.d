@@ -1,0 +1,1 @@
+test/test_trace_ccp.ml: Alcotest Array Filename Fun Gen Helpers List QCheck QCheck_alcotest Rdt_causality Rdt_ccp String Sys

@@ -1,0 +1,1 @@
+test/test_tracking.ml: Alcotest Array Fun Gen Helpers List QCheck QCheck_alcotest Rdt_causality Rdt_ccp Rdt_core Rdt_gc Rdt_protocols Rdt_recovery Rdt_scenarios Rdt_sim Rdt_storage

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Rdt_sim Rdt_workload

@@ -1,0 +1,1 @@
+test/test_zigzag.ml: Alcotest Array Format Fun Gen Helpers List Printf QCheck QCheck_alcotest Rdt_ccp Rdt_scenarios

@@ -1,0 +1,141 @@
+(* Vector clocks and dependency vectors: unit tests plus qcheck algebraic
+   properties. *)
+
+module VC = Rdt_causality.Vector_clock
+module DV = Rdt_causality.Dependency_vector
+
+let vc_of = VC.of_array
+
+let test_vc_basics () =
+  let c = VC.create ~n:3 in
+  Alcotest.(check int) "initial zero" 0 (VC.get c 1);
+  VC.tick c 1;
+  VC.tick c 1;
+  Alcotest.(check int) "ticked" 2 (VC.get c 1);
+  Alcotest.(check int) "others untouched" 0 (VC.get c 0)
+
+let test_vc_merge () =
+  let a = vc_of [| 1; 5; 0 |] and b = vc_of [| 2; 3; 4 |] in
+  VC.merge_into ~dst:a ~src:b;
+  Alcotest.(check (list int)) "pointwise max" [ 2; 5; 4 ]
+    (Array.to_list (VC.to_array a))
+
+let test_vc_orders () =
+  let a = vc_of [| 1; 2; 3 |]
+  and b = vc_of [| 2; 2; 4 |]
+  and c = vc_of [| 0; 9; 0 |] in
+  Alcotest.(check bool) "a < b" true (VC.precedes a b);
+  Alcotest.(check bool) "b not< a" false (VC.precedes b a);
+  Alcotest.(check bool) "a || c" true (VC.concurrent a c);
+  Alcotest.(check bool) "not self-precedes" false (VC.precedes a a)
+
+let test_vc_size_mismatch () =
+  let a = VC.create ~n:2 and b = VC.create ~n:3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Vector_clock.leq: size mismatch") (fun () ->
+      ignore (VC.leq a b))
+
+let test_dv_merge_reports_changes () =
+  let dv = DV.of_array [| 3; 0; 2 |] in
+  let changed = DV.merge_from_message dv [| 1; 4; 2 |] in
+  Alcotest.(check (list int)) "only entry 1 rose" [ 1 ] changed;
+  Alcotest.(check (list int)) "merged" [ 3; 4; 2 ]
+    (Array.to_list (DV.to_array dv))
+
+let test_dv_merge_multiple () =
+  let dv = DV.of_array [| 0; 0; 0 |] in
+  let changed = DV.merge_from_message dv [| 2; 0; 7 |] in
+  Alcotest.(check (list int)) "entries 0 and 2" [ 0; 2 ] changed
+
+let test_dv_newer_entries () =
+  Alcotest.(check (list int)) "detects"
+    [ 2 ]
+    (DV.newer_entries ~local:[| 5; 5; 5 |] ~incoming:[| 5; 0; 6 |])
+
+let test_dv_last_known () =
+  let dv = DV.of_array [| 3; 0 |] in
+  Alcotest.(check int) "known" 2 (DV.last_known dv 0);
+  Alcotest.(check int) "unknown is -1" (-1) (DV.last_known dv 1)
+
+let test_dv_checkpoint_precedes () =
+  (* Equation 2: c^alpha_a -> c iff alpha < DV(c).(a) *)
+  let dv_c = DV.of_array [| 2; 1; 0 |] in
+  Alcotest.(check bool) "alpha=1 < 2" true
+    (DV.checkpoint_precedes ~index:1 ~of_:0 dv_c);
+  Alcotest.(check bool) "alpha=2 not<" false
+    (DV.checkpoint_precedes ~index:2 ~of_:0 dv_c)
+
+(* --- qcheck properties ------------------------------------------------ *)
+
+let gen_vc n = QCheck.Gen.(array_size (return n) (int_bound 20))
+
+let arb_vc_pair =
+  QCheck.make
+    QCheck.Gen.(pair (gen_vc 4) (gen_vc 4))
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)"
+        (String.concat "," (List.map string_of_int (Array.to_list a)))
+        (String.concat "," (List.map string_of_int (Array.to_list b))))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"vc merge commutative" ~count:300 arb_vc_pair
+    (fun (a, b) ->
+      let x = vc_of a and y = vc_of b in
+      VC.merge_into ~dst:x ~src:(vc_of b);
+      VC.merge_into ~dst:y ~src:(vc_of a);
+      VC.equal x y)
+
+let prop_merge_upper_bound =
+  QCheck.Test.make ~name:"vc merge is an upper bound" ~count:300 arb_vc_pair
+    (fun (a, b) ->
+      let m = vc_of a in
+      VC.merge_into ~dst:m ~src:(vc_of b);
+      VC.leq (vc_of a) m && VC.leq (vc_of b) m)
+
+let prop_leq_antisym =
+  QCheck.Test.make ~name:"vc leq antisymmetric" ~count:300 arb_vc_pair
+    (fun (a, b) ->
+      let x = vc_of a and y = vc_of b in
+      (not (VC.leq x y && VC.leq y x)) || VC.equal x y)
+
+let prop_order_trichotomy =
+  QCheck.Test.make ~name:"vc precedes/concurrent partition" ~count:300
+    arb_vc_pair (fun (a, b) ->
+      let x = vc_of a and y = vc_of b in
+      let cases =
+        [ VC.precedes x y; VC.precedes y x; VC.concurrent x y; VC.equal x y ]
+      in
+      List.length (List.filter Fun.id cases) = 1)
+
+let prop_dv_merge_idempotent =
+  QCheck.Test.make ~name:"dv merge idempotent" ~count:300 arb_vc_pair
+    (fun (a, b) ->
+      let dv = DV.of_array a in
+      ignore (DV.merge_from_message dv b);
+      DV.merge_from_message dv b = [])
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_merge_commutative;
+      prop_merge_upper_bound;
+      prop_leq_antisym;
+      prop_order_trichotomy;
+      prop_dv_merge_idempotent;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "vc basics" `Quick test_vc_basics;
+    Alcotest.test_case "vc merge" `Quick test_vc_merge;
+    Alcotest.test_case "vc orders" `Quick test_vc_orders;
+    Alcotest.test_case "vc size mismatch" `Quick test_vc_size_mismatch;
+    Alcotest.test_case "dv merge reports changes" `Quick
+      test_dv_merge_reports_changes;
+    Alcotest.test_case "dv merge multiple" `Quick test_dv_merge_multiple;
+    Alcotest.test_case "dv newer entries" `Quick test_dv_newer_entries;
+    Alcotest.test_case "dv last known" `Quick test_dv_last_known;
+    Alcotest.test_case "dv checkpoint precedes (eq 2)" `Quick
+      test_dv_checkpoint_precedes;
+  ]
+  @ qcheck_suite

@@ -1,0 +1,84 @@
+module A = Rdt_storage.Dv_archive
+
+let test_record_and_find () =
+  let a = A.create ~me:2 in
+  Alcotest.(check int) "owner" 2 (A.me a);
+  Alcotest.(check int) "empty" (-1) (A.last_index a);
+  A.record a ~index:0 ~dv:[| 0; 0 |];
+  A.record a ~index:1 ~dv:[| 1; 3 |];
+  Alcotest.(check int) "count" 2 (A.count a);
+  (match A.find a ~index:1 with
+  | Some dv -> Alcotest.(check (array int)) "stored" [| 1; 3 |] dv
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "absent" true (A.find a ~index:2 = None);
+  Alcotest.(check bool) "negative" true (A.find a ~index:(-1) = None)
+
+let test_record_copies () =
+  let a = A.create ~me:0 in
+  let dv = [| 7 |] in
+  A.record a ~index:0 ~dv;
+  dv.(0) <- 9;
+  match A.find a ~index:0 with
+  | Some stored -> Alcotest.(check int) "isolated" 7 stored.(0)
+  | None -> Alcotest.fail "missing"
+
+let test_record_out_of_order () =
+  let a = A.create ~me:0 in
+  A.record a ~index:0 ~dv:[| 0 |];
+  Alcotest.(check bool) "gap rejected" true
+    (try
+       A.record a ~index:2 ~dv:[| 2 |];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       A.record a ~index:0 ~dv:[| 0 |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_truncate () =
+  let a = A.create ~me:0 in
+  for i = 0 to 4 do
+    A.record a ~index:i ~dv:[| i |]
+  done;
+  A.truncate_above a ~index:2;
+  Alcotest.(check int) "count" 3 (A.count a);
+  Alcotest.(check int) "last" 2 (A.last_index a);
+  (* recording continues from the rewound point *)
+  A.record a ~index:3 ~dv:[| 33 |];
+  match A.find a ~index:3 with
+  | Some dv -> Alcotest.(check int) "overwritten" 33 dv.(0)
+  | None -> Alcotest.fail "missing"
+
+let test_truncate_noop () =
+  let a = A.create ~me:0 in
+  A.record a ~index:0 ~dv:[| 0 |];
+  A.truncate_above a ~index:5;
+  Alcotest.(check int) "unchanged" 1 (A.count a)
+
+let test_archive_tracks_store () =
+  (* the middleware archive always covers 0 .. last taken, even after
+     collection removed checkpoints from the store *)
+  let module Script = Rdt_scenarios.Script in
+  let s =
+    Script.create ~n:2 ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:true
+  in
+  for _ = 1 to 5 do
+    Script.checkpoint s 0
+  done;
+  let mw = Script.middleware s 0 in
+  let archive = Rdt_protocols.Middleware.archive mw in
+  Alcotest.(check int) "archive complete" 6 (A.count archive);
+  Alcotest.(check bool) "store collected" true
+    (Rdt_storage.Stable_store.count (Rdt_protocols.Middleware.store mw) < 6)
+
+let suite =
+  [
+    Alcotest.test_case "record and find" `Quick test_record_and_find;
+    Alcotest.test_case "record copies" `Quick test_record_copies;
+    Alcotest.test_case "out-of-order rejected" `Quick test_record_out_of_order;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "truncate noop" `Quick test_truncate_noop;
+    Alcotest.test_case "archive outlives collection" `Quick
+      test_archive_tracks_store;
+  ]

@@ -1,0 +1,160 @@
+module Engine = Rdt_sim.Engine
+module Network = Rdt_sim.Network
+
+let make ?(n = 3) ?(net = Network.default) () = Engine.create ~n ~seed:5 ~net ()
+
+let test_delivery () =
+  let e = make () in
+  let got = ref [] in
+  for p = 0 to 2 do
+    Engine.set_receiver e p (fun ~src msg -> got := (p, src, msg) :: !got)
+  done;
+  Engine.send e ~src:0 ~dst:1 "hello";
+  Engine.send e ~src:1 ~dst:2 "world";
+  Engine.run e;
+  Alcotest.(check (list (triple int int string)))
+    "both delivered"
+    [ (1, 0, "hello"); (2, 1, "world") ]
+    (List.sort compare !got)
+
+let test_delay_bounds () =
+  let net = { Network.default with min_delay = 1.0; max_delay = 2.0 } in
+  let e = make ~net () in
+  let arrival = ref nan in
+  Engine.set_receiver e 1 (fun ~src:_ _ -> arrival := Engine.now e);
+  Engine.set_receiver e 0 (fun ~src:_ _ -> ());
+  Engine.set_receiver e 2 (fun ~src:_ _ -> ());
+  Engine.send e ~src:0 ~dst:1 ();
+  Engine.run e;
+  if !arrival < 1.0 || !arrival >= 2.0 then
+    Alcotest.failf "delivery at %f outside [1,2)" !arrival
+
+let test_loss () =
+  let net = { Network.default with loss_probability = 1.0 } in
+  let e = make ~net () in
+  Engine.set_receiver e 1 (fun ~src:_ _ -> Alcotest.fail "must be lost");
+  Engine.send e ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "lost counted" 1 (Engine.stats e).Engine.lost
+
+let test_reliable_bypasses_loss () =
+  let net = { Network.default with loss_probability = 1.0 } in
+  let e = make ~net () in
+  let got = ref 0 in
+  Engine.set_receiver e 1 (fun ~src:_ _ -> incr got);
+  Engine.send e ~reliable:true ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "delivered despite loss model" 1 !got
+
+let test_fifo_order () =
+  let net = { Network.default with fifo = true; min_delay = 0.1; max_delay = 5.0 } in
+  let e = make ~net () in
+  let got = ref [] in
+  Engine.set_receiver e 1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 20 do
+    Engine.send e ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo preserves send order" (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_non_fifo_can_reorder () =
+  let net = { Network.default with fifo = false; min_delay = 0.1; max_delay = 10.0 } in
+  let e = Engine.create ~n:2 ~seed:11 ~net () in
+  let got = ref [] in
+  Engine.set_receiver e 1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 30 do
+    Engine.send e ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "some reordering happened" true
+    (List.rev !got <> List.init 30 (fun i -> i + 1))
+
+let test_down_process_drops () =
+  let e = make () in
+  Engine.set_receiver e 1 (fun ~src:_ _ -> Alcotest.fail "down process received");
+  Engine.set_up e 1 false;
+  Engine.send e ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "counted as dropped" 1
+    (Engine.stats e).Engine.dropped_down
+
+let test_owned_action_skipped_when_down () =
+  let e = make () in
+  let fired = ref false in
+  ignore (Engine.schedule e ~owner:1 ~at:1.0 (fun () -> fired := true));
+  Engine.set_up e 1 false;
+  Engine.run e;
+  Alcotest.(check bool) "skipped" false !fired
+
+let test_unowned_action_runs () =
+  let e = make () in
+  let fired = ref false in
+  ignore (Engine.schedule e ~at:1.0 (fun () -> fired := true));
+  Engine.run e;
+  Alcotest.(check bool) "ran" true !fired
+
+let test_flush_in_flight () =
+  let e = make () in
+  Engine.set_receiver e 1 (fun ~src:_ _ -> Alcotest.fail "flushed message arrived");
+  Engine.send e ~src:0 ~dst:1 ();
+  Engine.flush_in_flight e;
+  Engine.run e;
+  Alcotest.(check int) "flushed counted" 1 (Engine.stats e).Engine.flushed
+
+let test_run_until () =
+  let e = make () in
+  let count = ref 0 in
+  ignore (Engine.schedule e ~at:1.0 (fun () -> incr count));
+  ignore (Engine.schedule e ~at:10.0 (fun () -> incr count));
+  Engine.run ~until:5.0 e;
+  Alcotest.(check int) "only events before the limit" 1 !count;
+  Alcotest.(check (float 1e-9)) "clock advanced to limit" 5.0 (Engine.now e)
+
+let test_cancel_action () =
+  let e = make () in
+  let fired = ref false in
+  let h = Engine.schedule e ~at:1.0 (fun () -> fired := true) in
+  Engine.cancel e h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_clock_monotone () =
+  let e = make () in
+  let times = ref [] in
+  for i = 1 to 10 do
+    ignore
+      (Engine.schedule e ~at:(float_of_int i) (fun () ->
+           times := Engine.now e :: !times))
+  done;
+  Engine.run e;
+  let ts = List.rev !times in
+  Alcotest.(check (list (float 1e-9))) "monotone" (List.sort compare ts) ts
+
+let test_schedule_in_past_rejected () =
+  let e = make () in
+  ignore (Engine.schedule e ~at:5.0 (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule: time in the past") (fun () ->
+      ignore (Engine.schedule e ~at:1.0 (fun () -> ())))
+
+let suite =
+  [
+    Alcotest.test_case "delivery" `Quick test_delivery;
+    Alcotest.test_case "delay bounds" `Quick test_delay_bounds;
+    Alcotest.test_case "loss" `Quick test_loss;
+    Alcotest.test_case "reliable bypasses loss" `Quick test_reliable_bypasses_loss;
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "non-fifo reorders" `Quick test_non_fifo_can_reorder;
+    Alcotest.test_case "down process drops" `Quick test_down_process_drops;
+    Alcotest.test_case "owned action skipped when down" `Quick
+      test_owned_action_skipped_when_down;
+    Alcotest.test_case "unowned action runs" `Quick test_unowned_action_runs;
+    Alcotest.test_case "flush in flight" `Quick test_flush_in_flight;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "cancel action" `Quick test_cancel_action;
+    Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "schedule in past rejected" `Quick
+      test_schedule_in_past_rejected;
+  ]

@@ -1,0 +1,91 @@
+module Q = Rdt_sim.Event_queue
+
+let drain q =
+  let rec loop acc =
+    match Q.pop q with None -> List.rev acc | Some (t, v) -> loop ((t, v) :: acc)
+  in
+  loop []
+
+let test_time_order () =
+  let q = Q.create () in
+  ignore (Q.add q ~time:3.0 "c");
+  ignore (Q.add q ~time:1.0 "a");
+  ignore (Q.add q ~time:2.0 "b");
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "sorted by time"
+    [ (1.0, "a"); (2.0, "b"); (3.0, "c") ]
+    (drain q)
+
+let test_fifo_ties () =
+  let q = Q.create () in
+  ignore (Q.add q ~time:1.0 "first");
+  ignore (Q.add q ~time:1.0 "second");
+  ignore (Q.add q ~time:1.0 "third");
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ]
+    (List.map snd (drain q))
+
+let test_cancel () =
+  let q = Q.create () in
+  ignore (Q.add q ~time:1.0 "keep1");
+  let h = Q.add q ~time:2.0 "drop" in
+  ignore (Q.add q ~time:3.0 "keep2");
+  Q.cancel q h;
+  Alcotest.(check (list string)) "cancelled skipped" [ "keep1"; "keep2" ]
+    (List.map snd (drain q))
+
+let test_cancel_idempotent () =
+  let q = Q.create () in
+  let h = Q.add q ~time:1.0 () in
+  Q.cancel q h;
+  Q.cancel q h;
+  Alcotest.(check int) "length zero" 0 (Q.length q);
+  Alcotest.(check bool) "empty" true (Q.is_empty q)
+
+let test_length_and_empty () =
+  let q = Q.create () in
+  Alcotest.(check bool) "fresh empty" true (Q.is_empty q);
+  ignore (Q.add q ~time:1.0 ());
+  ignore (Q.add q ~time:2.0 ());
+  Alcotest.(check int) "two live" 2 (Q.length q);
+  ignore (Q.pop q);
+  Alcotest.(check int) "one live" 1 (Q.length q)
+
+let test_peek_skips_cancelled () =
+  let q = Q.create () in
+  let h = Q.add q ~time:1.0 "x" in
+  ignore (Q.add q ~time:5.0 "y");
+  Q.cancel q h;
+  Alcotest.(check (option (float 0.0))) "peek" (Some 5.0) (Q.peek_time q)
+
+let test_interleaved_operations () =
+  let q = Q.create () in
+  ignore (Q.add q ~time:2.0 2);
+  ignore (Q.add q ~time:1.0 1);
+  (match Q.pop q with
+  | Some (_, 1) -> ()
+  | _ -> Alcotest.fail "expected 1 first");
+  ignore (Q.add q ~time:0.5 0);
+  Alcotest.(check (option (float 0.0))) "peek after add" (Some 0.5)
+    (Q.peek_time q)
+
+let test_many_random () =
+  let rng = Rdt_sim.Prng.create ~seed:99 in
+  let q = Q.create () in
+  let times = List.init 500 (fun _ -> Rdt_sim.Prng.float rng 100.0) in
+  List.iter (fun t -> ignore (Q.add q ~time:t ())) times;
+  let popped = List.map fst (drain q) in
+  Alcotest.(check (list (float 1e-9))) "heap sorts" (List.sort compare times)
+    popped
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_time_order;
+    Alcotest.test_case "fifo on ties" `Quick test_fifo_ties;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "length / is_empty" `Quick test_length_and_empty;
+    Alcotest.test_case "peek skips cancelled" `Quick test_peek_skips_cancelled;
+    Alcotest.test_case "interleaved ops" `Quick test_interleaved_operations;
+    Alcotest.test_case "random stress sorts" `Quick test_many_random;
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "rdtgc"
+    [
+      ("prng", Test_prng.suite);
+      ("event-queue", Test_event_queue.suite);
+      ("engine", Test_engine.suite);
+      ("causality", Test_causality.suite);
+      ("trace-ccp", Test_trace_ccp.suite);
+      ("zigzag", Test_zigzag.suite);
+      ("rdt-check", Test_rdt_check.suite);
+      ("consistency", Test_consistency.suite);
+      ("storage", Test_storage.suite);
+      ("dv-archive", Test_dv_archive.suite);
+      ("protocols", Test_protocols.suite);
+      ("rdt-lgc", Test_rdt_lgc.suite);
+      ("merged-fdas", Test_merged_fdas.suite);
+      ("global-gc", Test_global_gc.suite);
+      ("recovery", Test_recovery.suite);
+      ("tracking", Test_tracking.suite);
+      ("theorems", Test_theorems.suite);
+      ("runner", Test_runner.suite);
+      ("workload", Test_workload.suite);
+      ("metrics", Test_metrics.suite);
+      ("edge-cases", Test_edge_cases.suite);
+    ]

@@ -1,0 +1,126 @@
+module Prng = Rdt_sim.Prng
+
+let test_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_split_independence () =
+  let a = Prng.create ~seed:7 in
+  let child = Prng.split a in
+  (* drawing from the child must not change the parent's future *)
+  let b = Prng.create ~seed:7 in
+  let _ = Prng.split b in
+  let _ = Prng.bits64 child in
+  Alcotest.check Alcotest.int64 "parent unaffected by child draws"
+    (Prng.bits64 a) (Prng.bits64 b)
+
+let test_int_range () =
+  let t = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_bad_bound () =
+  let t = Prng.create ~seed:3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_int_covers_values () =
+  let t = Prng.create ~seed:5 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Prng.int t 4) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let t = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_float_mean () =
+  let t = Prng.create ~seed:13 in
+  let sum = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float t 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.02 then
+    Alcotest.failf "uniform mean drifted: %f" mean
+
+let test_bernoulli () =
+  let t = Prng.create ~seed:17 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli t ~p:0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if Float.abs (rate -. 0.25) > 0.02 then
+    Alcotest.failf "bernoulli rate drifted: %f" rate
+
+let test_exponential_mean () =
+  let t = Prng.create ~seed:19 in
+  let sum = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.exponential t ~mean:3.0 in
+    if v < 0.0 then Alcotest.fail "negative exponential";
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 3.0) > 0.1 then
+    Alcotest.failf "exponential mean drifted: %f" mean
+
+let test_uniform_in () =
+  let t = Prng.create ~seed:23 in
+  for _ = 1 to 1000 do
+    let v = Prng.uniform_in t ~lo:1.5 ~hi:2.0 in
+    if v < 1.5 || v >= 2.0 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_pick () =
+  let t = Prng.create ~seed:29 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let v = Prng.pick t arr in
+    Alcotest.(check bool) "member" true (Array.mem v arr)
+  done
+
+let test_shuffle_permutation () =
+  let t = Prng.create ~seed:31 in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle t arr;
+  Alcotest.(check (list int)) "same multiset" (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list arr))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic streams" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+    Alcotest.test_case "int covers values" `Quick test_int_covers_values;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "uniform_in range" `Quick test_uniform_in;
+    Alcotest.test_case "pick membership" `Quick test_pick;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+  ]

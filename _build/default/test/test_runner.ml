@@ -1,0 +1,370 @@
+(* End-to-end integration: full simulations across protocols, GC policies,
+   network conditions and fault plans, audited against the oracle. *)
+
+module Runner = Rdt_core.Runner
+module Sim_config = Rdt_core.Sim_config
+module Workload = Rdt_workload.Workload
+module Protocol = Rdt_protocols.Protocol
+module Stable_store = Rdt_storage.Stable_store
+module Middleware = Rdt_protocols.Middleware
+module Series = Rdt_metrics.Series
+
+let run cfg =
+  let t = Runner.create cfg in
+  Runner.run t;
+  t
+
+let base = Helpers.sim_config_of_case 1
+
+let test_deterministic_replay () =
+  let s1 = Runner.summary (run base) in
+  let s2 = Runner.summary (run base) in
+  Alcotest.(check int) "same stored" s1.Runner.stored_total s2.Runner.stored_total;
+  Alcotest.(check int) "same eliminated" s1.Runner.eliminated_total
+    s2.Runner.eliminated_total;
+  Alcotest.(check int) "same messages" s1.Runner.app_messages
+    s2.Runner.app_messages
+
+let test_seed_changes_execution () =
+  let s1 = Runner.summary (run base) in
+  let s2 = Runner.summary (run { base with seed = base.seed + 1 }) in
+  Alcotest.(check bool) "different executions" true
+    (s1.Runner.app_messages <> s2.Runner.app_messages
+    || s1.Runner.stored_total <> s2.Runner.stored_total)
+
+let test_all_protocols_run_clean () =
+  List.iter
+    (fun p ->
+      let t = run { base with protocol = p; gc = Sim_config.Local } in
+      Helpers.audit_safety t;
+      Helpers.audit_bound t;
+      Helpers.audit_rdt t)
+    Protocol.rdt_protocols
+
+let test_no_gc_keeps_everything () =
+  let t = run { base with gc = Sim_config.No_gc } in
+  let s = Runner.summary t in
+  Alcotest.(check int) "nothing eliminated" 0 s.Runner.eliminated_total;
+  Alcotest.(check int) "all stored retained" s.Runner.stored_total
+    (Array.fold_left ( + ) 0 s.Runner.final_retained)
+
+let test_local_gc_collects () =
+  let t = run base in
+  let s = Runner.summary t in
+  Alcotest.(check bool) "collected a meaningful share" true
+    (s.Runner.eliminated_total > s.Runner.stored_total / 2)
+
+let test_coordinated_gc () =
+  let t = run { base with gc = Sim_config.Coordinated { period = 5.0 } } in
+  Helpers.audit_safety t;
+  let s = Runner.summary t in
+  Alcotest.(check bool) "rounds ran" true (s.Runner.gc_rounds > 0);
+  Alcotest.(check bool) "control messages flowed" true
+    (s.Runner.control_messages > 0);
+  Alcotest.(check bool) "collected something" true
+    (s.Runner.eliminated_total > 0)
+
+let test_simple_gc () =
+  let t = run { base with gc = Sim_config.Simple { period = 5.0 } } in
+  Helpers.audit_safety t;
+  let s = Runner.summary t in
+  Alcotest.(check bool) "collected something" true
+    (s.Runner.eliminated_total > 0)
+
+let test_lazy_local_gc () =
+  let t = run { base with gc = Sim_config.Local_lazy { period = 2.0 } } in
+  Helpers.audit_safety t;
+  (* lazy sweeps never collect anything RDT-LGC would not: the retained
+     set is always a superset of the Theorem-2 optimum *)
+  Helpers.audit_optimality ~exact:false t;
+  let s = Runner.summary t in
+  Alcotest.(check bool) "collected something" true
+    (s.Runner.eliminated_total > 0);
+  Alcotest.(check int) "asynchronous: no control messages" 0
+    s.Runner.control_messages
+
+let test_lazy_dominates_incremental_pointwise () =
+  (* identical executions (no control traffic): the lazy variant can only
+     hold more than the incremental collector at any sample *)
+  let t_lazy = run { base with gc = Sim_config.Local_lazy { period = 5.0 } } in
+  let t_inc = run { base with gc = Sim_config.Local } in
+  List.iter2
+    (fun lazy_v inc_v ->
+      if lazy_v < inc_v -. 1e-9 then
+        Alcotest.failf "lazy retained %.0f < incremental %.0f" lazy_v inc_v)
+    (Series.values (Runner.total_retained_series t_lazy))
+    (Series.values (Runner.total_retained_series t_inc))
+
+let test_oracle_gc () =
+  let t = run { base with gc = Sim_config.Oracle_periodic { period = 2.0 } } in
+  Helpers.audit_safety t;
+  let s = Runner.summary t in
+  Alcotest.(check bool) "collected something" true
+    (s.Runner.eliminated_total > 0)
+
+let test_gc_effectiveness_ordering () =
+  (* Instantaneous Theorem-1 knowledge is a pointwise lower bound on what
+     any safe collector retains, and no-gc a pointwise upper bound.  A
+     *periodic* oracle, by contrast, legitimately holds more than RDT-LGC
+     between its rounds, so only pointwise-in-one-run comparisons are
+     meaningful. *)
+  let t = run { base with gc = Sim_config.Local } in
+  let totals = Series.values (Runner.total_retained_series t) in
+  let optimals = Series.values (Runner.optimal_retained_series t) in
+  List.iter2
+    (fun opt actual ->
+      if opt > actual +. 1e-9 then
+        Alcotest.failf "optimal %.0f above actual %.0f" opt actual)
+    optimals totals;
+  (* no-gc and rdt-lgc see byte-identical executions (no control traffic,
+     same seed), so their sampled totals compare pointwise too *)
+  let t_none = run { base with gc = Sim_config.No_gc } in
+  let totals_none = Series.values (Runner.total_retained_series t_none) in
+  List.iter2
+    (fun with_gc without ->
+      if with_gc > without +. 1e-9 then
+        Alcotest.failf "rdt-lgc retains %.0f > no-gc %.0f" with_gc without)
+    totals totals_none
+
+let test_local_gc_needs_no_control_messages () =
+  let t = run base in
+  let s = Runner.summary t in
+  Alcotest.(check int) "asynchronous: zero control messages" 0
+    s.Runner.control_messages
+
+let test_bound_under_stress () =
+  let cfg =
+    {
+      base with
+      n = 6;
+      duration = 80.0;
+      workload =
+        {
+          Workload.default with
+          pattern = Workload.Uniform;
+          send_mean_interval = 0.3;
+          basic_ckpt_mean_interval = 2.0;
+        };
+    }
+  in
+  let t = run cfg in
+  Helpers.audit_bound t;
+  Helpers.audit_safety t
+
+let test_lossy_network () =
+  let cfg =
+    {
+      base with
+      net = { Rdt_sim.Network.default with loss_probability = 0.3 };
+    }
+  in
+  let t = run cfg in
+  Helpers.audit_safety t;
+  Helpers.audit_optimality ~exact:true t;
+  Helpers.audit_rdt t
+
+let test_reordering_network () =
+  let cfg =
+    {
+      base with
+      net =
+        {
+          Rdt_sim.Network.default with
+          fifo = false;
+          min_delay = 0.1;
+          max_delay = 4.0;
+        };
+    }
+  in
+  let t = run cfg in
+  Helpers.audit_safety t;
+  Helpers.audit_rdt t
+
+(* --- faults ----------------------------------------------------------- *)
+
+let fault_cfg =
+  {
+    base with
+    duration = 60.0;
+    faults =
+      [
+        { Sim_config.crash_at = 20.0; pid = 1; repair_after = 3.0 };
+        { Sim_config.crash_at = 40.0; pid = 0; repair_after = 2.0 };
+      ];
+  }
+
+let test_crash_recovery_runs () =
+  let t = run fault_cfg in
+  let s = Runner.summary t in
+  Alcotest.(check int) "two sessions" 2 s.Runner.recovery_sessions;
+  Alcotest.(check bool) "rollbacks happened" true
+    (s.Runner.checkpoints_rolled_back > 0)
+
+let test_crash_recovery_consistency () =
+  let t = run fault_cfg in
+  (* the post-recovery trace must rebuild into a valid, RD-trackable CCP *)
+  Helpers.audit_rdt t;
+  Helpers.audit_safety t;
+  Helpers.audit_bound t
+
+let test_crash_recovery_causal_knowledge () =
+  let t = run { fault_cfg with knowledge = `Causal } in
+  Helpers.audit_rdt t;
+  Helpers.audit_safety t;
+  (* optimality still holds in the weaker, subset sense *)
+  Helpers.audit_optimality ~exact:false t
+
+let test_concurrent_crashes () =
+  let cfg =
+    {
+      base with
+      duration = 60.0;
+      n = 4;
+      faults =
+        [
+          { Sim_config.crash_at = 20.0; pid = 1; repair_after = 5.0 };
+          { Sim_config.crash_at = 21.0; pid = 2; repair_after = 8.0 };
+        ];
+    }
+  in
+  let t = run cfg in
+  Helpers.audit_rdt t;
+  Helpers.audit_safety t
+
+let test_crash_with_coordinated_gc () =
+  let cfg = { fault_cfg with gc = Sim_config.Coordinated { period = 5.0 } } in
+  let t = run cfg in
+  Helpers.audit_safety t;
+  Alcotest.(check bool) "sessions happened" true
+    ((Runner.summary t).Runner.recovery_sessions > 0)
+
+let test_coordinator_crash_during_rounds () =
+  (* process 0 plays GC coordinator; crashing it must stall rounds safely
+     (no round completes on partial membership, nothing unsafe happens) *)
+  let cfg =
+    {
+      base with
+      duration = 60.0;
+      gc = Sim_config.Coordinated { period = 4.0 };
+      faults = [ { Sim_config.crash_at = 15.0; pid = 0; repair_after = 10.0 } ];
+    }
+  in
+  let t = run cfg in
+  Helpers.audit_safety t;
+  Helpers.audit_rdt t;
+  Alcotest.(check bool) "rounds still completed around the outage" true
+    ((Runner.summary t).Runner.gc_rounds > 0)
+
+let test_participant_crash_during_rounds () =
+  let cfg =
+    {
+      base with
+      duration = 60.0;
+      gc = Sim_config.Coordinated { period = 4.0 };
+      faults = [ { Sim_config.crash_at = 15.0; pid = 2; repair_after = 10.0 } ];
+    }
+  in
+  let t = run cfg in
+  Helpers.audit_safety t;
+  Helpers.audit_rdt t
+
+let test_crash_with_lossy_network () =
+  let cfg =
+    {
+      fault_cfg with
+      net = { Rdt_sim.Network.default with loss_probability = 0.2 };
+    }
+  in
+  let t = run cfg in
+  Helpers.audit_safety t;
+  Helpers.audit_rdt t;
+  Helpers.audit_bound t
+
+let test_faults_under_every_protocol () =
+  List.iter
+    (fun p ->
+      let t = run { fault_cfg with protocol = p } in
+      Helpers.audit_safety t;
+      Helpers.audit_rdt t)
+    Protocol.rdt_protocols
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let test_series_recorded () =
+  let t = run base in
+  Alcotest.(check bool) "total series sampled" true
+    (Series.length (Runner.total_retained_series t) > 5);
+  Alcotest.(check bool) "optimal series sampled" true
+    (Series.length (Runner.optimal_retained_series t) > 5);
+  Alcotest.(check int) "per-process series" base.n
+    (Array.length (Runner.retained_series t))
+
+let test_summary_accounting () =
+  let t = run base in
+  let s = Runner.summary t in
+  (* stored = eliminated + retained *)
+  Alcotest.(check int) "conservation" s.Runner.stored_total
+    (s.Runner.eliminated_total + Array.fold_left ( + ) 0 s.Runner.final_retained);
+  (* checkpoint counts match store totals: basic + forced + n initials *)
+  Alcotest.(check int) "checkpoint counts"
+    (s.Runner.basic_checkpoints + s.Runner.forced_checkpoints + base.n)
+    s.Runner.stored_total
+
+let test_validation_rejects_bad_configs () =
+  let bad cfg = try Sim_config.validate cfg; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "n too small" true (bad { base with n = 1 });
+  Alcotest.(check bool) "negative duration" true (bad { base with duration = -1.0 });
+  Alcotest.(check bool) "overlapping faults" true
+    (bad
+       {
+         base with
+         faults =
+           [
+             { Sim_config.crash_at = 5.0; pid = 0; repair_after = 10.0 };
+             { Sim_config.crash_at = 8.0; pid = 0; repair_after = 1.0 };
+           ];
+       })
+
+let suite =
+  [
+    Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+    Alcotest.test_case "seed changes execution" `Quick
+      test_seed_changes_execution;
+    Alcotest.test_case "all RDT protocols run clean" `Slow
+      test_all_protocols_run_clean;
+    Alcotest.test_case "no-gc keeps everything" `Quick test_no_gc_keeps_everything;
+    Alcotest.test_case "rdt-lgc collects" `Quick test_local_gc_collects;
+    Alcotest.test_case "coordinated gc" `Quick test_coordinated_gc;
+    Alcotest.test_case "simple gc" `Quick test_simple_gc;
+    Alcotest.test_case "lazy local gc" `Quick test_lazy_local_gc;
+    Alcotest.test_case "lazy dominates incremental pointwise" `Quick
+      test_lazy_dominates_incremental_pointwise;
+    Alcotest.test_case "oracle gc" `Quick test_oracle_gc;
+    Alcotest.test_case "gc effectiveness ordering" `Slow
+      test_gc_effectiveness_ordering;
+    Alcotest.test_case "rdt-lgc sends no control messages" `Quick
+      test_local_gc_needs_no_control_messages;
+    Alcotest.test_case "bound under stress" `Slow test_bound_under_stress;
+    Alcotest.test_case "lossy network" `Quick test_lossy_network;
+    Alcotest.test_case "reordering network" `Quick test_reordering_network;
+    Alcotest.test_case "crash/recovery runs" `Quick test_crash_recovery_runs;
+    Alcotest.test_case "crash/recovery consistency" `Quick
+      test_crash_recovery_consistency;
+    Alcotest.test_case "crash/recovery with causal knowledge" `Quick
+      test_crash_recovery_causal_knowledge;
+    Alcotest.test_case "concurrent crashes" `Quick test_concurrent_crashes;
+    Alcotest.test_case "crash with coordinated gc" `Quick
+      test_crash_with_coordinated_gc;
+    Alcotest.test_case "coordinator crash during rounds" `Quick
+      test_coordinator_crash_during_rounds;
+    Alcotest.test_case "participant crash during rounds" `Quick
+      test_participant_crash_during_rounds;
+    Alcotest.test_case "crash with lossy network" `Quick
+      test_crash_with_lossy_network;
+    Alcotest.test_case "faults under every protocol" `Slow
+      test_faults_under_every_protocol;
+    Alcotest.test_case "series recorded" `Quick test_series_recorded;
+    Alcotest.test_case "summary accounting" `Quick test_summary_accounting;
+    Alcotest.test_case "config validation" `Quick
+      test_validation_rejects_bad_configs;
+  ]

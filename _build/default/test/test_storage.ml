@@ -1,0 +1,111 @@
+module S = Rdt_storage.Stable_store
+
+let store_simple t index =
+  S.store t ~index ~dv:[| index; 0 |] ~now:(float_of_int index) ~size_bytes:10
+    ~payload:(100 + index) ()
+
+let test_store_and_find () =
+  let t = S.create ~me:0 in
+  store_simple t 0;
+  store_simple t 1;
+  Alcotest.(check bool) "mem 0" true (S.mem t ~index:0);
+  Alcotest.(check bool) "mem 2" false (S.mem t ~index:2);
+  match S.find t ~index:1 with
+  | None -> Alcotest.fail "missing"
+  | Some e ->
+    Alcotest.(check int) "index" 1 e.S.index;
+    Alcotest.(check (array int)) "dv copied" [| 1; 0 |] e.S.dv;
+    Alcotest.(check int) "payload kept" 101 e.S.payload
+
+let test_store_out_of_order_rejected () =
+  let t = S.create ~me:0 in
+  store_simple t 0;
+  store_simple t 1;
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       store_simple t 1;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "regression rejected" true
+    (try
+       store_simple t 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_dv_isolation () =
+  let t = S.create ~me:0 in
+  let dv = [| 5; 5 |] in
+  S.store t ~index:0 ~dv ~now:0.0 ~size_bytes:1 ();
+  dv.(0) <- 99;
+  match S.find t ~index:0 with
+  | Some e -> Alcotest.(check int) "stored copy unaffected" 5 e.S.dv.(0)
+  | None -> Alcotest.fail "missing"
+
+let test_eliminate () =
+  let t = S.create ~me:0 in
+  store_simple t 0;
+  store_simple t 1;
+  S.eliminate t ~index:0;
+  Alcotest.(check (list int)) "only 1 left" [ 1 ] (S.retained_indices t);
+  Alcotest.(check bool) "eliminate missing rejected" true
+    (try
+       S.eliminate t ~index:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_truncate_above () =
+  let t = S.create ~me:0 in
+  List.iter (store_simple t) [ 0; 1; 2; 3; 4 ];
+  let removed = S.truncate_above t ~index:2 in
+  Alcotest.(check int) "two removed" 2 removed;
+  Alcotest.(check (list int)) "kept prefix" [ 0; 1; 2 ] (S.retained_indices t);
+  Alcotest.(check int) "idempotent" 0 (S.truncate_above t ~index:2)
+
+let test_byte_accounting () =
+  let t = S.create ~me:0 in
+  S.store t ~index:0 ~dv:[| 0 |] ~now:0.0 ~size_bytes:100 ();
+  S.store t ~index:1 ~dv:[| 1 |] ~now:1.0 ~size_bytes:50 ();
+  Alcotest.(check int) "bytes" 150 (S.bytes t);
+  S.eliminate t ~index:0;
+  Alcotest.(check int) "bytes after eliminate" 50 (S.bytes t)
+
+let test_stats () =
+  let t = S.create ~me:0 in
+  List.iter (store_simple t) [ 0; 1; 2 ];
+  S.eliminate t ~index:1;
+  store_simple t 3;
+  let stats = S.stats t in
+  Alcotest.(check int) "stored total" 4 stats.S.stored_total;
+  Alcotest.(check int) "eliminated total" 1 stats.S.eliminated_total;
+  Alcotest.(check int) "peak count" 3 stats.S.peak_count;
+  Alcotest.(check int) "current count" 3 (S.count t)
+
+let test_last_index () =
+  let t = S.create ~me:0 in
+  Alcotest.(check int) "empty" (-1) (S.last_index t);
+  store_simple t 0;
+  store_simple t 1;
+  Alcotest.(check int) "last" 1 (S.last_index t);
+  S.eliminate t ~index:1;
+  Alcotest.(check int) "after eliminating the top" 0 (S.last_index t)
+
+let test_retained_order () =
+  let t = S.create ~me:0 in
+  List.iter (store_simple t) [ 0; 1; 2; 3 ];
+  S.eliminate t ~index:1;
+  Alcotest.(check (list int)) "ascending" [ 0; 2; 3 ]
+    (List.map (fun e -> e.S.index) (S.retained t))
+
+let suite =
+  [
+    Alcotest.test_case "store and find" `Quick test_store_and_find;
+    Alcotest.test_case "out-of-order rejected" `Quick
+      test_store_out_of_order_rejected;
+    Alcotest.test_case "dv isolation" `Quick test_dv_isolation;
+    Alcotest.test_case "eliminate" `Quick test_eliminate;
+    Alcotest.test_case "truncate above" `Quick test_truncate_above;
+    Alcotest.test_case "byte accounting" `Quick test_byte_accounting;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "last index" `Quick test_last_index;
+    Alcotest.test_case "retained order" `Quick test_retained_order;
+  ]
