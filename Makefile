@@ -1,4 +1,4 @@
-.PHONY: all build test bench figures eval micro examples clean
+.PHONY: all build test bench figures eval micro smoke bench-json perf-smoke examples clean
 
 all: build
 
@@ -8,18 +8,30 @@ build:
 test:
 	dune runtest
 
+# parallelism for the experiment harness: JOBS=0 uses every core
+JOBS ?= 1
+
 # full experiment harness (figures + evaluation + micro-benchmarks)
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- all -j $(JOBS)
 
 figures:
-	dune exec bench/main.exe -- figures
+	dune exec bench/main.exe -- figures -j $(JOBS)
 
 eval:
-	dune exec bench/main.exe -- eval
+	dune exec bench/main.exe -- eval -j $(JOBS)
 
 micro:
 	dune exec bench/main.exe -- micro
+
+smoke:
+	dune exec bench/main.exe -- smoke
+
+# machine-readable micro-benchmark results (writes BENCH_micro.json)
+bench-json: micro
+
+# fast perf regression check: the incremental-CCP criterion only
+perf-smoke: smoke
 
 examples:
 	dune exec examples/quickstart.exe

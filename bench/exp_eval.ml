@@ -51,10 +51,48 @@ let exp_e1 () =
           ("ctrl msgs", Table.Right);
         ]
   in
+  let patterns =
+    [
+      (Workload.Uniform, "uniform");
+      (Workload.Client_server { servers = 2 }, "client-server");
+      (Workload.Bursty { burst = 3 }, "bursty:3");
+    ]
+  in
+  let sizes = [ 4; 8 ] in
+  (* phase 1: one cell per (pattern, n, policy, seed) *)
+  let cells =
+    List.concat_map
+      (fun (pattern, _) ->
+        List.concat_map
+          (fun n ->
+            List.concat_map
+              (fun (_, gc) ->
+                List.map
+                  (fun seed () ->
+                    let cfg = base_config ~n ~seed ~gc ~pattern ~duration:80.0 in
+                    let s = Runner.summary (run_sim cfg) in
+                    let bound_ok =
+                      Array.for_all (fun final -> final <= n)
+                        s.Runner.final_retained
+                      && Array.for_all (fun p -> p <= n + 1)
+                           s.Runner.peak_retained
+                    in
+                    ( s.Runner.mean_total_retained,
+                      s.Runner.peak_retained_global,
+                      s.Runner.control_messages,
+                      s.Runner.mean_optimal_retained,
+                      bound_ok ))
+                  seeds)
+              policies)
+          sizes)
+      patterns
+  in
+  let next = popper (par_run cells) in
+  (* phase 2: replay the loops, consuming cell results in order *)
   let ok = ref true in
   let optimal_means = Hashtbl.create 8 in
   List.iter
-    (fun (pattern, pname) ->
+    (fun (_, pname) ->
       List.iter
         (fun n ->
           List.iter
@@ -64,26 +102,14 @@ let exp_e1 () =
               let ctrl = Stats.create () in
               let optimal = Stats.create () in
               List.iter
-                (fun seed ->
-                  let cfg =
-                    base_config ~n ~seed ~gc ~pattern ~duration:80.0
-                  in
-                  let run = run_sim cfg in
-                  let s = Runner.summary run in
-                  Stats.add mean s.Runner.mean_total_retained;
-                  Stats.add_int peak s.Runner.peak_retained_global;
-                  Stats.add_int ctrl s.Runner.control_messages;
-                  if not (Float.is_nan s.Runner.mean_optimal_retained) then
-                    Stats.add optimal s.Runner.mean_optimal_retained;
-                  if gc = Sim_config.Local then begin
-                    (* the paper's bound: never more than n per process *)
-                    Array.iter
-                      (fun final -> if final > n then ok := false)
-                      s.Runner.final_retained;
-                    Array.iter
-                      (fun p -> if p > n + 1 then ok := false)
-                      s.Runner.peak_retained
-                  end)
+                (fun _seed ->
+                  let m, p, c, opt, bound_ok = next () in
+                  Stats.add mean m;
+                  Stats.add_int peak p;
+                  Stats.add_int ctrl c;
+                  if not (Float.is_nan opt) then Stats.add optimal opt;
+                  (* the paper's bound: never more than n per process *)
+                  if gc = Sim_config.Local && not bound_ok then ok := false)
                 seeds;
               if gc = Sim_config.Local then
                 Hashtbl.replace optimal_means (pname, n) (Stats.mean optimal);
@@ -112,12 +138,8 @@ let exp_e1 () =
               "0";
             ];
           Table.add_separator t)
-        [ 4; 8 ])
-    [
-      (Workload.Uniform, "uniform");
-      (Workload.Client_server { servers = 2 }, "client-server");
-      (Workload.Bursty { burst = 3 }, "bursty:3");
-    ];
+        sizes)
+    patterns;
   Table.print t;
   check "RDT-LGC respects the n (n+1 transient) bound in every run" !ok
 
@@ -140,24 +162,36 @@ let exp_e2 () =
           ("bound hit?", Table.Left);
         ]
   in
+  let sizes = [ 2; 4; 8; 16 ] in
+  (* phase 1: one cell per (n, seed); each returns its sample values in
+     the same reverse-accumulated order the sequential loop builds *)
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun seed () ->
+            let cfg =
+              base_config ~n ~seed ~gc:Sim_config.Local
+                ~pattern:Workload.Uniform ~duration:60.0
+            in
+            let run = run_sim cfg in
+            let acc = ref [] in
+            Array.iter
+              (fun series ->
+                List.iter (fun v -> acc := v :: !acc) (Series.values series))
+              (Runner.retained_series run);
+            !acc)
+          seeds)
+      sizes
+  in
+  let next = popper (par_run cells) in
   let ok = ref true in
   List.iter
     (fun n ->
+      (* prepending each seed's reversed segment reproduces the
+         sequential accumulation order exactly *)
       let per_process = ref [] in
-      List.iter
-        (fun seed ->
-          let cfg =
-            base_config ~n ~seed ~gc:Sim_config.Local ~pattern:Workload.Uniform
-              ~duration:60.0
-          in
-          let run = run_sim cfg in
-          Array.iter
-            (fun series ->
-              List.iter
-                (fun v -> per_process := v :: !per_process)
-                (Series.values series))
-            (Runner.retained_series run))
-        seeds;
+      List.iter (fun _seed -> per_process := next () @ !per_process) seeds;
       let values = !per_process in
       let max_v = List.fold_left Float.max 0.0 values in
       if max_v > float_of_int n then ok := false;
@@ -170,7 +204,7 @@ let exp_e2 () =
           string_of_int n;
           (if max_v >= float_of_int n then "yes" else "no");
         ])
-    [ 2; 4; 8; 16 ];
+    sizes;
   Table.print t;
   check "sampled per-process retention never exceeds n" !ok
 
@@ -195,6 +229,63 @@ let exp_e3 () =
           ("causal optimum?", Table.Left);
         ]
   in
+  let send_means = [ 0.5; 1.0; 2.0 ] in
+  let ckpt_means = [ 2.0; 5.0; 10.0 ] in
+  (* phase 1: one cell per (rates, seed); sums and conjunctions are
+     order-insensitive, so per-seed increments recombine exactly *)
+  let cells =
+    List.concat_map
+      (fun send_mean ->
+        List.concat_map
+          (fun ckpt_mean ->
+            List.map
+              (fun seed () ->
+                let cfg =
+                  {
+                    (base_config ~n:6 ~seed ~gc:Sim_config.Local
+                       ~pattern:Workload.Uniform ~duration:60.0)
+                    with
+                    workload =
+                      {
+                        (base_workload Workload.Uniform) with
+                        send_mean_interval = send_mean;
+                        basic_ckpt_mean_interval = ckpt_mean;
+                      };
+                  }
+                in
+                let run = run_sim cfg in
+                let s = Runner.summary run in
+                (* the trace-derived CCP contains every checkpoint ever
+                   taken, so the oracle's obsolete set already includes
+                   the collected ones *)
+                let ccp = Runner.ccp run in
+                let obsolete = List.length (Oracle.obsolete ccp) in
+                (* Theorem 5 check: retained = Theorem-2 set *)
+                let n = (Runner.config run).Sim_config.n in
+                let snaps =
+                  Array.init n (fun pid ->
+                      Session.snapshot_of (Runner.middleware run pid))
+                in
+                let optimal = ref true in
+                for pid = 0 to n - 1 do
+                  let li = snaps.(pid).Global_gc.live_dv in
+                  let causal = Global_gc.theorem1_retained snaps ~me:pid ~li in
+                  let retained =
+                    Stable_store.retained_indices
+                      (Middleware.store (Runner.middleware run pid))
+                  in
+                  if List.sort compare causal <> List.sort compare retained
+                  then optimal := false
+                done;
+                ( s.Runner.stored_total,
+                  s.Runner.eliminated_total,
+                  obsolete,
+                  !optimal ))
+              seeds)
+          ckpt_means)
+      send_means
+  in
+  let next = popper (par_run cells) in
   let all_optimal = ref true in
   List.iter
     (fun send_mean ->
@@ -203,45 +294,12 @@ let exp_e3 () =
           let stored = ref 0 and collected = ref 0 and obsolete = ref 0 in
           let optimal = ref true in
           List.iter
-            (fun seed ->
-              let cfg =
-                {
-                  (base_config ~n:6 ~seed ~gc:Sim_config.Local
-                     ~pattern:Workload.Uniform ~duration:60.0)
-                  with
-                  workload =
-                    {
-                      (base_workload Workload.Uniform) with
-                      send_mean_interval = send_mean;
-                      basic_ckpt_mean_interval = ckpt_mean;
-                    };
-                }
-              in
-              let run = run_sim cfg in
-              let s = Runner.summary run in
-              stored := !stored + s.Runner.stored_total;
-              collected := !collected + s.Runner.eliminated_total;
-              (* the trace-derived CCP contains every checkpoint ever
-                 taken, so the oracle's obsolete set already includes the
-                 collected ones *)
-              let ccp = Runner.ccp run in
-              obsolete := !obsolete + List.length (Oracle.obsolete ccp);
-              (* Theorem 5 check: retained = Theorem-2 set *)
-              let n = (Runner.config run).Sim_config.n in
-              let snaps =
-                Array.init n (fun pid ->
-                    Session.snapshot_of (Runner.middleware run pid))
-              in
-              for pid = 0 to n - 1 do
-                let li = snaps.(pid).Global_gc.live_dv in
-                let causal = Global_gc.theorem1_retained snaps ~me:pid ~li in
-                let retained =
-                  Stable_store.retained_indices
-                    (Middleware.store (Runner.middleware run pid))
-                in
-                if List.sort compare causal <> List.sort compare retained then
-                  optimal := false
-              done)
+            (fun _seed ->
+              let st, co, ob, opt = next () in
+              stored := !stored + st;
+              collected := !collected + co;
+              obsolete := !obsolete + ob;
+              if not opt then optimal := false)
             seeds;
           if not !optimal then all_optimal := false;
           Table.add_row t
@@ -254,8 +312,8 @@ let exp_e3 () =
               Table.fmt_ratio (float_of_int !collected) (float_of_int !obsolete);
               (if !optimal then "yes" else "NO");
             ])
-        [ 2.0; 5.0; 10.0 ])
-    [ 0.5; 1.0; 2.0 ];
+        ckpt_means)
+    send_means;
   Table.print t;
   Printf.printf
     "\n(the gap to 100%% is exactly the set of obsolete checkpoints whose\n\
@@ -283,26 +341,48 @@ let exp_e5 () =
           ("forced/basic", Table.Right);
         ]
   in
+  let patterns =
+    [
+      (Workload.Uniform, "uniform");
+      (Workload.Ring, "ring");
+      (Workload.Client_server { servers = 2 }, "client-server");
+    ]
+  in
+  (* phase 1: one cell per (pattern, protocol, seed) *)
+  let cells =
+    List.concat_map
+      (fun (pattern, _) ->
+        List.concat_map
+          (fun (p : Protocol.t) ->
+            List.map
+              (fun seed () ->
+                let cfg =
+                  {
+                    (base_config ~n:6 ~seed ~gc:Sim_config.No_gc ~pattern
+                       ~duration:60.0)
+                    with
+                    protocol = p;
+                  }
+                in
+                let s = Runner.summary (run_sim cfg) in
+                (s.Runner.basic_checkpoints, s.Runner.forced_checkpoints))
+              seeds)
+          Protocol.all)
+      patterns
+  in
+  let next = popper (par_run cells) in
   let ordering_ok = ref true in
   List.iter
-    (fun (pattern, pname) ->
+    (fun (_, pname) ->
       let forced_of = Hashtbl.create 8 in
       List.iter
         (fun (p : Protocol.t) ->
           let basic = ref 0 and forced = ref 0 in
           List.iter
-            (fun seed ->
-              let cfg =
-                {
-                  (base_config ~n:6 ~seed ~gc:Sim_config.No_gc ~pattern
-                     ~duration:60.0)
-                  with
-                  protocol = p;
-                }
-              in
-              let s = Runner.summary (run_sim cfg) in
-              basic := !basic + s.Runner.basic_checkpoints;
-              forced := !forced + s.Runner.forced_checkpoints)
+            (fun _seed ->
+              let b, f = next () in
+              basic := !basic + b;
+              forced := !forced + f)
             seeds;
           Hashtbl.replace forced_of p.Protocol.id !forced;
           Table.add_row t
@@ -320,11 +400,7 @@ let exp_e5 () =
       if not (f "fdas" <= f "fdi" && f "fdi" <= f "cbr") then
         ordering_ok := false;
       Table.add_separator t)
-    [
-      (Workload.Uniform, "uniform");
-      (Workload.Ring, "ring");
-      (Workload.Client_server { servers = 2 }, "client-server");
-    ];
+    patterns;
   Table.print t;
   check "FDAS <= FDI <= CBR forced-checkpoint ordering on every workload"
     !ordering_ok
@@ -362,22 +438,38 @@ let exp_e7 () =
       ("no-gc", Sim_config.No_gc);
     ]
   in
+  (* phase 1: one cell per (variant, seed) *)
+  let cells =
+    List.concat_map
+      (fun (_, gc) ->
+        List.map
+          (fun seed () ->
+            let cfg =
+              base_config ~n ~seed ~gc ~pattern:Workload.Uniform
+                ~duration:80.0
+            in
+            let s = Runner.summary (run_sim cfg) in
+            let over =
+              Array.exists (fun p -> p > n + 1) s.Runner.peak_retained
+            in
+            ( s.Runner.mean_total_retained,
+              s.Runner.peak_retained_global,
+              over ))
+          seeds)
+      variants
+  in
+  let next = popper (par_run cells) in
   let incremental_ok = ref true in
   List.iter
     (fun (name, gc) ->
       let mean = Stats.create () and peak = Stats.create () in
       let over_bound = ref false in
       List.iter
-        (fun seed ->
-          let cfg =
-            base_config ~n ~seed ~gc ~pattern:Workload.Uniform ~duration:80.0
-          in
-          let s = Runner.summary (run_sim cfg) in
-          Stats.add mean s.Runner.mean_total_retained;
-          Stats.add_int peak s.Runner.peak_retained_global;
-          Array.iter
-            (fun p -> if p > n + 1 then over_bound := true)
-            s.Runner.peak_retained)
+        (fun _seed ->
+          let m, p, over = next () in
+          Stats.add mean m;
+          Stats.add_int peak p;
+          if over then over_bound := true)
         seeds;
       if gc = Sim_config.Local && !over_bound then incremental_ok := false;
       Table.add_row t
@@ -413,51 +505,67 @@ let exp_e6 () =
           ("safe?", Table.Left);
         ]
   in
+  let knowledges = [ (`Global, "global (LI)"); (`Causal, "causal (DV)") ] in
+  (* phase 1: one cell per (knowledge, seed) *)
+  let cells =
+    List.concat_map
+      (fun (knowledge, _) ->
+        List.map
+          (fun seed () ->
+            let cfg =
+              {
+                (base_config ~n:5 ~seed ~gc:Sim_config.Local
+                   ~pattern:Workload.Uniform ~duration:80.0)
+                with
+                knowledge;
+                faults =
+                  [
+                    { Sim_config.crash_at = 25.0; pid = 1; repair_after = 3.0 };
+                    { Sim_config.crash_at = 55.0; pid = 3; repair_after = 4.0 };
+                  ];
+              }
+            in
+            let run = run_sim cfg in
+            let s = Runner.summary run in
+            let ccp = Runner.ccp run in
+            let safe =
+              List.for_all
+                (fun pid ->
+                  let retained =
+                    Stable_store.retained_indices
+                      (Middleware.store (Runner.middleware run pid))
+                  in
+                  List.for_all
+                    (fun needed -> List.mem needed retained)
+                    (Oracle.retained ccp ~pid))
+                (List.init 5 Fun.id)
+            in
+            ( s.Runner.recovery_sessions,
+              s.Runner.checkpoints_rolled_back,
+              Array.fold_left ( + ) 0 s.Runner.final_retained,
+              safe ))
+          seeds)
+      knowledges
+  in
+  let next = popper (par_run cells) in
   let all_safe = ref true in
   List.iter
-    (fun (knowledge, kname) ->
+    (fun (_, kname) ->
       List.iter
         (fun seed ->
-          let cfg =
-            {
-              (base_config ~n:5 ~seed ~gc:Sim_config.Local
-                 ~pattern:Workload.Uniform ~duration:80.0)
-              with
-              knowledge;
-              faults =
-                [
-                  { Sim_config.crash_at = 25.0; pid = 1; repair_after = 3.0 };
-                  { Sim_config.crash_at = 55.0; pid = 3; repair_after = 4.0 };
-                ];
-            }
-          in
-          let run = run_sim cfg in
-          let s = Runner.summary run in
-          let ccp = Runner.ccp run in
-          let safe =
-            List.for_all
-              (fun pid ->
-                let retained =
-                  Stable_store.retained_indices
-                    (Middleware.store (Runner.middleware run pid))
-                in
-                List.for_all
-                  (fun needed -> List.mem needed retained)
-                  (Oracle.retained ccp ~pid))
-              (List.init 5 Fun.id)
-          in
+          let sessions, rolled_back, retained, safe = next () in
           if not safe then all_safe := false;
           Table.add_row t
             [
               kname;
               string_of_int seed;
-              string_of_int s.Runner.recovery_sessions;
-              string_of_int s.Runner.checkpoints_rolled_back;
-              string_of_int (Array.fold_left ( + ) 0 s.Runner.final_retained);
+              string_of_int sessions;
+              string_of_int rolled_back;
+              string_of_int retained;
               (if safe then "yes" else "NO");
             ])
         seeds)
-    [ (`Global, "global (LI)"); (`Causal, "causal (DV)") ];
+    knowledges;
   Table.print t;
   check "post-recovery collection is safe in every run" !all_safe
 
@@ -482,52 +590,74 @@ let exp_e8 () =
           ("= no-gc rollbacks?", Table.Left);
         ]
   in
-  let ok = ref true in
   let n = 5 in
+  let crash_periods = [ 40.0; 20.0; 10.0 ] in
+  let knowledges = [ (`Global, "global"); (`Causal, "causal") ] in
+  (* phase 1: one cell per (period, knowledge, seed); each runs the
+     collected and the no-gc execution back to back *)
+  let cells =
+    List.concat_map
+      (fun crash_period ->
+        List.concat_map
+          (fun (knowledge, _) ->
+            List.map
+              (fun seed () ->
+                let faults =
+                  (* staggered crashes of rotating processes *)
+                  List.init
+                    (int_of_float (120.0 /. crash_period) - 1)
+                    (fun i ->
+                      {
+                        Sim_config.pid = i mod n;
+                        crash_at = crash_period *. float_of_int (i + 1);
+                        repair_after = 2.0;
+                      })
+                in
+                let run gc =
+                  let cfg =
+                    {
+                      (base_config ~n ~seed ~gc ~pattern:Workload.Uniform
+                         ~duration:120.0)
+                      with
+                      faults;
+                      knowledge;
+                    }
+                  in
+                  run_sim cfg
+                in
+                let s = Runner.summary (run Sim_config.Local) in
+                let s_none = Runner.summary (run Sim_config.No_gc) in
+                let bound_ok =
+                  Array.for_all (fun p -> p <= n + 1) s.Runner.peak_retained
+                in
+                ( s.Runner.recovery_sessions,
+                  s.Runner.checkpoints_rolled_back,
+                  s.Runner.mean_total_retained,
+                  bound_ok,
+                  s.Runner.checkpoints_rolled_back
+                  = s_none.Runner.checkpoints_rolled_back ))
+              seeds)
+          knowledges)
+      crash_periods
+  in
+  let next = popper (par_run cells) in
+  let ok = ref true in
   List.iter
     (fun crash_period ->
       List.iter
-        (fun (knowledge, kname) ->
+        (fun (_, kname) ->
           let sessions = Stats.create ()
           and undone = Stats.create ()
           and retained = Stats.create () in
           let same = ref true in
           List.iter
-            (fun seed ->
-              let faults =
-                (* staggered crashes of rotating processes *)
-                List.init (int_of_float (120.0 /. crash_period) - 1) (fun i ->
-                    {
-                      Sim_config.pid = i mod n;
-                      crash_at = crash_period *. float_of_int (i + 1);
-                      repair_after = 2.0;
-                    })
-              in
-              let run gc =
-                let cfg =
-                  {
-                    (base_config ~n ~seed ~gc ~pattern:Workload.Uniform
-                       ~duration:120.0)
-                    with
-                    faults;
-                    knowledge;
-                  }
-                in
-                run_sim cfg
-              in
-              let t_gc = run Sim_config.Local in
-              let s = Runner.summary t_gc in
-              Stats.add_int sessions s.Runner.recovery_sessions;
-              Stats.add_int undone s.Runner.checkpoints_rolled_back;
-              Stats.add retained s.Runner.mean_total_retained;
-              Array.iter
-                (fun p -> if p > n + 1 then ok := false)
-                s.Runner.peak_retained;
-              let s_none = Runner.summary (run Sim_config.No_gc) in
-              if
-                s.Runner.checkpoints_rolled_back
-                <> s_none.Runner.checkpoints_rolled_back
-              then begin
+            (fun _seed ->
+              let se, un, re, bound_ok, same_rollback = next () in
+              Stats.add_int sessions se;
+              Stats.add_int undone un;
+              Stats.add retained re;
+              if not bound_ok then ok := false;
+              if not same_rollback then begin
                 same := false;
                 ok := false
               end)
@@ -541,8 +671,8 @@ let exp_e8 () =
               Table.fmt_float (Stats.mean retained);
               (if !same then "yes" else "NO");
             ])
-        [ (`Global, "global"); (`Causal, "causal") ])
-    [ 40.0; 20.0; 10.0 ];
+        knowledges)
+    crash_periods;
   Table.print t;
   check
     "bound holds through every storm; rollback depth identical to no-gc runs"

@@ -97,7 +97,8 @@ let exp_f2 () =
         ]
   in
   let ok = ref true in
-  let run_protocol p =
+  (* phase 1: one cell per protocol *)
+  let run_protocol p () =
     let s = Figures.figure2_with_protocol p in
     let ccp = Script.ccp s in
     let useless = List.length (Zigzag.useless ccp) in
@@ -110,17 +111,23 @@ let exp_f2 () =
     in
     let depth = Consistency.count_rolled_back ccp line in
     let domino = line.(0) = 0 && line.(1) = 0 in
-    Table.add_row t
-      [
-        p.Protocol.id;
-        string_of_int forced;
-        string_of_int useless;
-        string_of_int depth;
-        (if domino then "yes" else "no");
-      ];
-    (p, useless, domino)
+    (p, forced, useless, depth, domino)
   in
-  let results = List.map run_protocol Protocol.all in
+  let results = par_run (List.map run_protocol Protocol.all) in
+  List.iter
+    (fun ((p : Protocol.t), forced, useless, depth, domino) ->
+      Table.add_row t
+        [
+          p.Protocol.id;
+          string_of_int forced;
+          string_of_int useless;
+          string_of_int depth;
+          (if domino then "yes" else "no");
+        ])
+    results;
+  let results =
+    List.map (fun (p, _, useless, _, domino) -> (p, useless, domino)) results
+  in
   Table.print t;
   List.iter
     (fun (p, useless, domino) ->
@@ -286,19 +293,31 @@ let exp_f5 () =
           ("n(n+1) bound", Table.Right);
         ]
   in
+  let sizes = [ 2; 3; 4; 6; 8; 12; 16 ] in
+  (* phase 1: one cell per n *)
+  let cells =
+    List.map
+      (fun n () ->
+        let s = Figures.worst_case ~n in
+        (* trigger the transient: all processes take one more checkpoint *)
+        for pid = 0 to n - 1 do
+          Script.checkpoint s pid
+        done;
+        let counts =
+          List.init n (fun pid -> List.length (Script.retained s pid))
+        in
+        let peaks =
+          List.init n (fun pid ->
+              (Stable_store.stats (Script.store s pid)).Stable_store.peak_count)
+        in
+        (counts, peaks))
+      sizes
+  in
+  let next = popper (par_run cells) in
   let ok = ref true in
   List.iter
     (fun n ->
-      let s = Figures.worst_case ~n in
-      (* trigger the transient: all processes take one more checkpoint *)
-      for pid = 0 to n - 1 do
-        Script.checkpoint s pid
-      done;
-      let counts = List.init n (fun pid -> List.length (Script.retained s pid)) in
-      let peaks =
-        List.init n (fun pid ->
-            (Stable_store.stats (Script.store s pid)).Stable_store.peak_count)
-      in
+      let counts, peaks = next () in
       let global = List.fold_left ( + ) 0 counts in
       let global_peak = List.fold_left ( + ) 0 peaks in
       if
@@ -314,7 +333,7 @@ let exp_f5 () =
           string_of_int global_peak;
           string_of_int (n * (n + 1));
         ])
-    [ 2; 3; 4; 6; 8; 12; 16 ];
+    sizes;
   Table.print t;
   check "every process retains exactly n, peaks at n+1 (global n(n+1))" !ok
 

@@ -4,6 +4,48 @@ module Table = Rdt_metrics.Table
 module Runner = Rdt_core.Runner
 module Sim_config = Rdt_core.Sim_config
 module Workload = Rdt_workload.Workload
+module Domain_pool = Rdt_parallel.Domain_pool
+
+(* --- parallel fan-out -------------------------------------------------- *)
+
+(* Experiments are organized in two phases so the report stays
+   byte-identical at any [-j]: phase 1 enumerates the independent
+   simulation cells in loop order and evaluates them on the pool (cells
+   never print), phase 2 replays the same loops sequentially, popping
+   each cell's result in order and formatting the report. *)
+
+let jobs = ref 1
+let set_jobs n = jobs := max 1 n
+
+let pool = ref None
+
+let get_pool () =
+  match !pool with
+  | Some p -> p
+  | None ->
+    let p = Domain_pool.create ~jobs:!jobs () in
+    pool := Some p;
+    p
+
+let shutdown_pool () =
+  match !pool with
+  | Some p ->
+    Domain_pool.shutdown p;
+    pool := None
+  | None -> ()
+
+let par_map f xs = Domain_pool.map (get_pool ()) f xs
+
+let par_run cells = par_map (fun cell -> cell ()) cells
+
+let popper results =
+  let rest = ref results in
+  fun () ->
+    match !rest with
+    | x :: tl ->
+      rest := tl;
+      x
+    | [] -> invalid_arg "Exp_support.popper: phase 2 popped too many results"
 
 let section title description =
   Printf.printf "\n=== %s ===\n%s\n\n" title description

@@ -3,13 +3,45 @@
    E6), plus Bechamel micro-benchmarks for the complexity claims (E4).
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- figures # only F1-F5
-     dune exec bench/main.exe -- eval    # only E1-E3, E5, E6
-     dune exec bench/main.exe -- micro   # only the Bechamel benches *)
+     dune exec bench/main.exe                 # everything, sequential
+     dune exec bench/main.exe -- figures      # only F1-F5
+     dune exec bench/main.exe -- eval -j 8    # only E1-E3, E5-E8, 8 domains
+     dune exec bench/main.exe -- micro        # only the Bechamel benches
+     dune exec bench/main.exe -- smoke        # fast micro subset
+
+   [-j N] fans the independent simulation cells of the figure/eval
+   experiments over N domains (default 1; [-j 0] means the machine's
+   recommended domain count).  The report is byte-identical at any N.
+   [micro] and [smoke] also write machine-readable BENCH_micro.json. *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [all|figures|eval|micro|smoke] [-j N]";
+  exit 2
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let what = ref "all" in
+  let rec parse i =
+    if i < Array.length Sys.argv then begin
+      (match Sys.argv.(i) with
+      | "-j" ->
+        if i + 1 >= Array.length Sys.argv then usage ();
+        let n =
+          match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 0 -> n
+          | Some _ | None -> usage ()
+        in
+        Exp_support.set_jobs
+          (if n = 0 then Rdt_parallel.Domain_pool.default_jobs () else n);
+        parse (i + 2)
+      | ("all" | "figures" | "eval" | "micro" | "smoke") as w ->
+        what := w;
+        parse (i + 1)
+      | _ -> usage ())
+    end
+  in
+  parse 1;
+  let what = !what in
   Printf.printf
     "RDT-LGC benchmark harness — reproduction of Schmidt, Garcia, Pedone &\n\
      Buzato, \"Optimal Asynchronous Garbage Collection for RDT\n\
@@ -21,8 +53,11 @@ let () =
     if what = "all" || what = "eval" then Some (Exp_eval.all ()) else None
   in
   let ran_micro =
-    if what = "all" || what = "micro" then Some (Micro.all ()) else None
+    if what = "all" || what = "micro" then Some (Micro.all ())
+    else if what = "smoke" then Some (Micro.smoke ())
+    else None
   in
+  Exp_support.shutdown_pool ();
   let verdict label = function
     | None -> ()
     | Some true -> Printf.printf "%s: all checks passed\n" label

@@ -10,26 +10,40 @@ let get t i = t.(i)
 let set t i v = t.(i) <- v
 let increment t i = t.(i) <- t.(i) + 1
 
-let merge_from_message t m =
+let merge_from_message_iter t m ~f =
   if Array.length t <> Array.length m then
     invalid_arg "Dependency_vector.merge_from_message: size mismatch";
-  let changed = ref [] in
-  for j = Array.length t - 1 downto 0 do
+  for j = 0 to Array.length t - 1 do
     if m.(j) > t.(j) then begin
       t.(j) <- m.(j);
-      changed := j :: !changed
+      f j
     end
-  done;
-  !changed
+  done
 
-let newer_entries ~local ~incoming =
+let merge_from_message t m =
+  let changed = ref [] in
+  merge_from_message_iter t m ~f:(fun j -> changed := j :: !changed);
+  List.rev !changed
+
+let newer_entries_iter ~local ~incoming ~f =
   if Array.length local <> Array.length incoming then
     invalid_arg "Dependency_vector.newer_entries: size mismatch";
+  for j = 0 to Array.length local - 1 do
+    if incoming.(j) > local.(j) then f j
+  done
+
+let newer_entries ~local ~incoming =
   let changed = ref [] in
-  for j = Array.length local - 1 downto 0 do
-    if incoming.(j) > local.(j) then changed := j :: !changed
-  done;
-  !changed
+  newer_entries_iter ~local ~incoming ~f:(fun j -> changed := j :: !changed);
+  List.rev !changed
+
+let has_newer_entries ~local ~incoming =
+  if Array.length local <> Array.length incoming then
+    invalid_arg "Dependency_vector.newer_entries: size mismatch";
+  let rec loop j =
+    j < Array.length local && (incoming.(j) > local.(j) || loop (j + 1))
+  in
+  loop 0
 
 let last_known t j = t.(j) - 1
 

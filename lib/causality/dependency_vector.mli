@@ -36,9 +36,24 @@ val merge_from_message : t -> int array -> int list
     reacts to (Algorithm 2, receiving [m], line 2).  The incoming vector is
     a plain array because that is how it travels inside messages. *)
 
+val merge_from_message_iter : t -> int array -> f:(int -> unit) -> unit
+(** Allocation-free {!merge_from_message}: calls [f j] (ascending [j]) for
+    every entry that strictly increased instead of building a list.  The
+    receive path runs this once per delivered message, so the middleware
+    uses this variant to feed RDT-LGC's [on_new_dependency] hook directly. *)
+
 val newer_entries : local:int array -> incoming:int array -> int list
 (** Entries [j] with [incoming.(j) > local.(j)], without mutating;
     the test protocols such as FDAS use to detect new dependencies. *)
+
+val newer_entries_iter :
+  local:int array -> incoming:int array -> f:(int -> unit) -> unit
+(** Allocation-free {!newer_entries}: [f] is called on each newer entry in
+    ascending order. *)
+
+val has_newer_entries : local:int array -> incoming:int array -> bool
+(** [newer_entries ~local ~incoming <> []] without building the list and
+    with early exit — the per-receive test of FDAS/FDI/CBR. *)
 
 val last_known : t -> int -> int
 (** Equation 3: [last_known dv j = dv.(j) - 1]. *)

@@ -13,12 +13,18 @@ type message = {
   recv_seq : int;
 }
 
+(* The CCP graph is stored in growable vectors so that an incremental
+   builder can extend it in place, one trace event at a time; a one-shot
+   [of_trace] CCP is simply a builder that is never extended again.
+   [generation] is bumped whenever the content is rebuilt in place (after
+   a rollback truncated the underlying trace), so derived caches such as
+   {!Zigzag.analyzer} know their indexes are stale. *)
 type t = {
   n : int;
-  last_stable : int array;
-  ckpt_vc : Vector_clock.t array array;  (* [pid].(index), 0 .. last_stable *)
-  volatile_vc : Vector_clock.t array;
-  messages : message array;
+  ckpt_vc : Vector_clock.t Vec.t array;  (* [pid] -> VC of s^0 .. s^last *)
+  volatile_vc : Vector_clock.t array;  (* running (= volatile) VC per pid *)
+  messages : message Vec.t;
+  mutable generation : int;
 }
 
 type pending_send = {
@@ -28,86 +34,117 @@ type pending_send = {
   p_send_seq : int;
 }
 
-let of_trace trace =
-  let n = Trace.n trace in
-  let cur_vc = Array.init n (fun _ -> Vector_clock.create ~n) in
-  let cur_interval = Array.make n 0 in
-  let ckpt_count = Array.make n 0 in
-  let ckpts = Array.init n (fun _ -> Vec.create ()) in
-  let pending : (int, pending_send) Hashtbl.t = Hashtbl.create 64 in
-  let messages = Vec.create () in
-  let handle (ev : Trace.event) =
-    let pid = ev.pid in
-    let vc = cur_vc.(pid) in
-    Vector_clock.tick vc pid;
-    match ev.kind with
-    | Trace.Checkpoint { index } ->
-      if index <> ckpt_count.(pid) then
-        invalid_arg
-          (Printf.sprintf
-             "Ccp.of_trace: process %d records checkpoint %d, expected %d" pid
-             index ckpt_count.(pid));
-      Vec.push ckpts.(pid) (Vector_clock.copy vc);
-      ckpt_count.(pid) <- index + 1;
-      cur_interval.(pid) <- index + 1
-    | Trace.Send { msg_id; dst = _ } ->
-      Hashtbl.replace pending msg_id
+(* Fold state shared by [of_trace] and the incremental builder.  The
+   volatile VC of [state] doubles as the running clock of the fold. *)
+type builder = {
+  b_ccp : t;
+  b_cur_interval : int array;
+  b_pending : (int, pending_send) Hashtbl.t;
+}
+
+let empty_builder ~n =
+  {
+    b_ccp =
+      {
+        n;
+        ckpt_vc = Array.init n (fun _ -> Vec.create ());
+        volatile_vc = Array.init n (fun _ -> Vector_clock.create ~n);
+        messages = Vec.create ();
+        generation = 0;
+      };
+    b_cur_interval = Array.make n 0;
+    b_pending = Hashtbl.create 64;
+  }
+
+let reset_builder b =
+  let s = b.b_ccp in
+  Array.iter Vec.clear s.ckpt_vc;
+  Array.iter
+    (fun vc ->
+      for j = 0 to s.n - 1 do
+        Vector_clock.set vc j 0
+      done)
+    s.volatile_vc;
+  Vec.clear s.messages;
+  Array.fill b.b_cur_interval 0 s.n 0;
+  Hashtbl.reset b.b_pending
+
+let handle_event b (ev : Trace.event) =
+  let s = b.b_ccp in
+  let pid = ev.Trace.pid in
+  let vc = s.volatile_vc.(pid) in
+  Vector_clock.tick vc pid;
+  match ev.Trace.kind with
+  | Trace.Checkpoint { index } ->
+    if index <> Vec.length s.ckpt_vc.(pid) then
+      invalid_arg
+        (Printf.sprintf
+           "Ccp.of_trace: process %d records checkpoint %d, expected %d" pid
+           index
+           (Vec.length s.ckpt_vc.(pid)));
+    Vec.push s.ckpt_vc.(pid) (Vector_clock.copy vc);
+    b.b_cur_interval.(pid) <- index + 1
+  | Trace.Send { msg_id; dst = _ } ->
+    Hashtbl.replace b.b_pending msg_id
+      {
+        p_vc = Vector_clock.copy vc;
+        p_src = pid;
+        p_send_interval = b.b_cur_interval.(pid);
+        p_send_seq = ev.Trace.seq;
+      }
+  | Trace.Receive { msg_id; src } -> begin
+    match Hashtbl.find_opt b.b_pending msg_id with
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Ccp.of_trace: orphan receive of message %d at process %d" msg_id
+           pid)
+    | Some p ->
+      if p.p_src <> src then
+        invalid_arg "Ccp.of_trace: receive names the wrong sender";
+      Hashtbl.remove b.b_pending msg_id;
+      Vector_clock.merge_into ~dst:vc ~src:p.p_vc;
+      Vec.push s.messages
         {
-          p_vc = Vector_clock.copy vc;
-          p_src = pid;
-          p_send_interval = cur_interval.(pid);
-          p_send_seq = ev.seq;
+          id = msg_id;
+          src;
+          send_interval = p.p_send_interval;
+          send_seq = p.p_send_seq;
+          dst = pid;
+          recv_interval = b.b_cur_interval.(pid);
+          recv_seq = ev.Trace.seq;
         }
-    | Trace.Receive { msg_id; src } -> begin
-      match Hashtbl.find_opt pending msg_id with
-      | None ->
-        invalid_arg
-          (Printf.sprintf
-             "Ccp.of_trace: orphan receive of message %d at process %d" msg_id
-             pid)
-      | Some p ->
-        if p.p_src <> src then
-          invalid_arg "Ccp.of_trace: receive names the wrong sender";
-        Hashtbl.remove pending msg_id;
-        Vector_clock.merge_into ~dst:vc ~src:p.p_vc;
-        Vec.push messages
-          {
-            id = msg_id;
-            src;
-            send_interval = p.p_send_interval;
-            send_seq = p.p_send_seq;
-            dst = pid;
-            recv_interval = cur_interval.(pid);
-            recv_seq = ev.seq;
-          }
-    end
-  in
-  List.iter handle (Trace.all_events trace);
-  for pid = 0 to n - 1 do
-    if ckpt_count.(pid) = 0 then
+  end
+
+let check_initial_checkpoints s =
+  for pid = 0 to s.n - 1 do
+    if Vec.is_empty s.ckpt_vc.(pid) then
       invalid_arg
         (Printf.sprintf "Ccp.of_trace: process %d has no initial checkpoint"
            pid)
-  done;
-  {
-    n;
-    last_stable = Array.map (fun c -> c - 1) ckpt_count;
-    ckpt_vc = Array.map Vec.to_array ckpts;
-    volatile_vc = cur_vc;
-    messages = Vec.to_array messages;
-  }
+  done
+
+let build_from_trace b trace =
+  List.iter (handle_event b) (Trace.all_events trace)
+
+let of_trace trace =
+  let b = empty_builder ~n:(Trace.n trace) in
+  build_from_trace b trace;
+  check_initial_checkpoints b.b_ccp;
+  b.b_ccp
 
 let n t = t.n
-let last_stable t pid = t.last_stable.(pid)
-let volatile_index t pid = t.last_stable.(pid) + 1
+let generation t = t.generation
+let last_stable t pid = Vec.length t.ckpt_vc.(pid) - 1
+let volatile_index t pid = Vec.length t.ckpt_vc.(pid)
 let volatile t pid = { pid; index = volatile_index t pid }
-let last_stable_ckpt t pid = { pid; index = t.last_stable.(pid) }
+let last_stable_ckpt t pid = { pid; index = last_stable t pid }
 
 let mem t c =
   c.pid >= 0 && c.pid < t.n && c.index >= 0 && c.index <= volatile_index t c.pid
 
 let is_volatile t c = c.index = volatile_index t c.pid
-let is_stable t c = mem t c && c.index <= t.last_stable.(c.pid)
+let is_stable t c = mem t c && c.index <= last_stable t c.pid
 
 let checkpoints t =
   List.concat
@@ -117,13 +154,19 @@ let checkpoints t =
 let stable_checkpoints t =
   List.concat
     (List.init t.n (fun pid ->
-         List.init (t.last_stable.(pid) + 1) (fun index -> { pid; index })))
+         List.init (last_stable t pid + 1) (fun index -> { pid; index })))
 
-let messages t = t.messages
+let messages t = Vec.to_array t.messages
+let message_count t = Vec.length t.messages
+let message_at t i = Vec.get t.messages i
+let iter_messages t f = Vec.iter f t.messages
 
 let vc t c =
   if not (mem t c) then invalid_arg "Ccp.vc: checkpoint not in CCP";
-  if is_volatile t c then t.volatile_vc.(c.pid) else t.ckpt_vc.(c.pid).(c.index)
+  if is_volatile t c then t.volatile_vc.(c.pid)
+  else Vec.get t.ckpt_vc.(c.pid) c.index
+
+let vc_entry t c j = Vector_clock.get (vc t c) j
 
 let precedes t c1 c2 =
   if not (mem t c1 && mem t c2) then
@@ -140,9 +183,39 @@ let pp_ckpt ppf c = Format.fprintf ppf "c%d_p%d" c.index c.pid
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>CCP: %d processes, %d messages" t.n
-    (Array.length t.messages);
+    (Vec.length t.messages);
   for pid = 0 to t.n - 1 do
     Format.fprintf ppf "@,  p%d: %d stable checkpoints (+volatile)" pid
-      (t.last_stable.(pid) + 1)
+      (last_stable t pid + 1)
   done;
   Format.fprintf ppf "@]"
+
+module Incremental = struct
+  type t = {
+    trace : Trace.t;
+    builder : builder;
+    mutable dirty : bool;
+  }
+
+  let rebuild t =
+    reset_builder t.builder;
+    build_from_trace t.builder t.trace;
+    t.builder.b_ccp.generation <- t.builder.b_ccp.generation + 1;
+    t.dirty <- false
+
+  let of_trace trace =
+    let t = { trace; builder = empty_builder ~n:(Trace.n trace); dirty = false } in
+    build_from_trace t.builder trace;
+    (* Appends fold into the graph as they happen; a truncation (rollback)
+       can retract already-folded events, so it flags a full rebuild
+       instead.  While dirty, appended events are ignored — the rebuild
+       replays the whole trace anyway. *)
+    Trace.on_event trace (fun ev -> if not t.dirty then handle_event t.builder ev);
+    Trace.on_truncate trace (fun ~pid:_ -> t.dirty <- true);
+    t
+
+  let ccp t =
+    if t.dirty then rebuild t;
+    check_initial_checkpoints t.builder.b_ccp;
+    t.builder.b_ccp
+end

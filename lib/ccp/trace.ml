@@ -13,6 +13,8 @@ type t = {
   mutable next_seq : int;
   mutable next_msg_id : int;
   mutable recording : bool;
+  mutable on_event : (event -> unit) list;
+  mutable on_truncate : (pid:int -> unit) list;
 }
 
 let create ~n =
@@ -23,17 +25,22 @@ let create ~n =
     next_seq = 0;
     next_msg_id = 0;
     recording = true;
+    on_event = [];
+    on_truncate = [];
   }
 
 let n t = t.n
 let set_recording t b = t.recording <- b
+let on_event t f = t.on_event <- f :: t.on_event
+let on_truncate t f = t.on_truncate <- f :: t.on_truncate
 
 let record t ~pid kind =
   if pid < 0 || pid >= t.n then invalid_arg "Trace.record: bad pid";
   if t.recording then begin
     let ev = { seq = t.next_seq; pid; kind } in
     t.next_seq <- t.next_seq + 1;
-    Vec.push t.logs.(pid) ev
+    Vec.push t.logs.(pid) ev;
+    List.iter (fun f -> f ev) t.on_event
   end
 
 let record_checkpoint t ~pid ~index = record t ~pid (Checkpoint { index })
@@ -70,7 +77,8 @@ let truncate_to_checkpoint t ~pid ~index =
     log;
   if !cut < 0 then
     invalid_arg "Trace.truncate_to_checkpoint: checkpoint not in trace";
-  Vec.truncate log (!cut + 1)
+  Vec.truncate log (!cut + 1);
+  List.iter (fun f -> f ~pid) t.on_truncate
 
 (* Serialization *)
 

@@ -38,6 +38,19 @@ val set_recording : t -> bool -> unit
     must not accumulate an unbounded log.  A trace that was paused is no
     longer a faithful basis for {!Ccp.of_trace}. *)
 
+val on_event : t -> (event -> unit) -> unit
+(** Subscribe to appends: the callback runs after each event is recorded
+    (so in global sequence order — the same linearization {!all_events}
+    returns).  {!Ccp.Incremental} subscribes here to keep an analysis
+    graph up to date in O(new events).  Callbacks do not fire while
+    recording is off. *)
+
+val on_truncate : t -> (pid:int -> unit) -> unit
+(** Subscribe to rollbacks: the callback runs after
+    {!truncate_to_checkpoint} erased a suffix of [pid]'s log.  Incremental
+    consumers treat this as a cache invalidation (truncation can retract
+    events a subscriber already folded in). *)
+
 val record_checkpoint : t -> pid:int -> index:int -> unit
 val record_send : t -> pid:int -> msg_id:int -> dst:int -> unit
 val record_receive : t -> pid:int -> msg_id:int -> src:int -> unit

@@ -1,40 +1,89 @@
+module Vec = Rdt_sim.Vec
+
 type verdict = Causal_path | Non_causal_zigzag | Not_a_path
 
-(* Messages sent by each process, sorted by send_interval descending, so
-   that relaxing a constraint "send_interval >= gamma" enqueues a prefix
-   and a per-process pointer makes each message enqueued at most once. *)
-let sends_by_process ccp =
+(* Messages sent by each process, in ascending send_interval order, so
+   that relaxing a constraint "send_interval >= gamma" enqueues a suffix
+   and a per-process pointer (walking from the top down) makes each
+   message enqueued at most once per BFS.
+
+   Per-process send intervals are nondecreasing in trace order (a
+   process's interval counter only grows within one consistent trace), so
+   messages appended by an incremental CCP extend each bucket in sorted
+   position: incorporating new messages is O(1) amortized per message,
+   and only a generation bump (trace rollback) forces a re-index. *)
+type analyzer = {
+  a_ccp : Ccp.t;
+  a_sends : Ccp.message Vec.t array;
+  mutable a_seen : int;  (* messages of a_ccp already bucketed *)
+  mutable a_generation : int;
+  a_memo : (Ccp.ckpt, int array) Hashtbl.t;
+  a_by_id : (int, Ccp.message) Hashtbl.t;
+}
+
+let incorporate a =
+  let count = Ccp.message_count a.a_ccp in
+  if count <> a.a_seen || Ccp.generation a.a_ccp <> a.a_generation then begin
+    if Ccp.generation a.a_ccp <> a.a_generation then begin
+      (* the CCP was rebuilt in place: our buckets describe retracted
+         messages — start over *)
+      Array.iter Vec.clear a.a_sends;
+      Hashtbl.reset a.a_by_id;
+      a.a_seen <- 0;
+      a.a_generation <- Ccp.generation a.a_ccp
+    end;
+    for i = a.a_seen to count - 1 do
+      let m = Ccp.message_at a.a_ccp i in
+      let bucket = a.a_sends.(m.Ccp.src) in
+      (* messages arrive in receive order; a non-FIFO network can deliver
+         a later-interval send first, so restore sortedness by bubbling
+         the newcomer down (rare and shallow: delays are bounded) *)
+      Vec.push bucket m;
+      let j = ref (Vec.length bucket - 1) in
+      while
+        !j > 0
+        && (Vec.get bucket (!j - 1)).Ccp.send_interval > m.Ccp.send_interval
+      do
+        Vec.set bucket !j (Vec.get bucket (!j - 1));
+        decr j
+      done;
+      Vec.set bucket !j m;
+      Hashtbl.replace a.a_by_id m.Ccp.id m
+    done;
+    a.a_seen <- count;
+    (* reach results depend on the message set: new messages invalidate
+       every memoized BFS *)
+    Hashtbl.reset a.a_memo
+  end
+
+let analyzer ccp =
+  let a =
+    {
+      a_ccp = ccp;
+      a_sends = Array.init (Ccp.n ccp) (fun _ -> Vec.create ());
+      a_seen = 0;
+      a_generation = Ccp.generation ccp;
+      a_memo = Hashtbl.create 64;
+      a_by_id = Hashtbl.create 64;
+    }
+  in
+  incorporate a;
+  a
+
+let compute_reach a ~(src : Ccp.ckpt) =
+  let ccp = a.a_ccp in
   let n = Ccp.n ccp in
-  let buckets = Array.make n [] in
-  Array.iter
-    (fun (m : Ccp.message) -> buckets.(m.src) <- m :: buckets.(m.src))
-    (Ccp.messages ccp);
-  Array.map
-    (fun l ->
-      let a = Array.of_list l in
-      Array.sort
-        (fun (a : Ccp.message) (b : Ccp.message) ->
-          compare b.send_interval a.send_interval)
-        a;
-      a)
-    buckets
-
-type analyzer = { a_ccp : Ccp.t; a_sends : Ccp.message array array }
-
-let analyzer ccp = { a_ccp = ccp; a_sends = sends_by_process ccp }
-
-let reach_with ~ccp ~sends ~src =
-  if not (Ccp.mem ccp src) then invalid_arg "Zigzag.reach: bad checkpoint";
-  let n = Ccp.n ccp in
-  let ptr = Array.make n 0 in
+  (* ptr.(pid): highest bucket position not yet enqueued (buckets are
+     ascending, the BFS consumes them from the top down) *)
+  let ptr = Array.map (fun b -> Vec.length b - 1) a.a_sends in
   let min_recv = Array.make n max_int in
   let queue = Queue.create () in
   let relax pid gamma =
-    let arr : Ccp.message array = sends.(pid) in
-    while ptr.(pid) < Array.length arr
-          && arr.(ptr.(pid)).Ccp.send_interval >= gamma do
-      Queue.push arr.(ptr.(pid)) queue;
-      ptr.(pid) <- ptr.(pid) + 1
+    let bucket = a.a_sends.(pid) in
+    while ptr.(pid) >= 0
+          && (Vec.get bucket ptr.(pid)).Ccp.send_interval >= gamma do
+      Queue.push (Vec.get bucket ptr.(pid)) queue;
+      ptr.(pid) <- ptr.(pid) - 1
     done
   in
   (* condition (i): first message sent after c^alpha, i.e. in interval
@@ -49,25 +98,35 @@ let reach_with ~ccp ~sends ~src =
   done;
   min_recv
 
-let reach ccp ~src = reach_with ~ccp ~sends:(sends_by_process ccp) ~src
-let reach_from a ~src = reach_with ~ccp:a.a_ccp ~sends:a.a_sends ~src
+let reach_from a ~src =
+  incorporate a;
+  if not (Ccp.mem a.a_ccp src) then invalid_arg "Zigzag.reach: bad checkpoint";
+  match Hashtbl.find_opt a.a_memo src with
+  | Some r -> r
+  | None ->
+    let r = compute_reach a ~src in
+    Hashtbl.replace a.a_memo src r;
+    r
 
-let path_exists ccp c1 (c2 : Ccp.ckpt) =
-  let r = reach ccp ~src:c1 in
+let reach ccp ~src = reach_from (analyzer ccp) ~src
+
+let path_exists_from a c1 (c2 : Ccp.ckpt) =
+  let r = reach_from a ~src:c1 in
   r.(c2.pid) <= c2.index
 
-let cycle ccp (c : Ccp.ckpt) =
-  let r = reach ccp ~src:c in
+let cycle_from a (c : Ccp.ckpt) =
+  let r = reach_from a ~src:c in
   r.(c.pid) <= c.index
 
-let useless ccp = List.filter (cycle ccp) (Ccp.checkpoints ccp)
+let useless_from a = List.filter (cycle_from a) (Ccp.checkpoints a.a_ccp)
 
-let classify_sequence ccp ~(from_ : Ccp.ckpt) ~(to_ : Ccp.ckpt) msg_ids =
-  let by_id = Hashtbl.create 16 in
-  Array.iter
-    (fun (m : Ccp.message) -> Hashtbl.replace by_id m.id m)
-    (Ccp.messages ccp);
-  let lookup id = Hashtbl.find_opt by_id id in
+let path_exists ccp c1 c2 = path_exists_from (analyzer ccp) c1 c2
+let cycle ccp c = cycle_from (analyzer ccp) c
+let useless ccp = useless_from (analyzer ccp)
+
+let classify_sequence_from a ~(from_ : Ccp.ckpt) ~(to_ : Ccp.ckpt) msg_ids =
+  incorporate a;
+  let lookup id = Hashtbl.find_opt a.a_by_id id in
   match List.map lookup msg_ids with
   | [] -> Not_a_path
   | maybe_msgs when List.exists (fun m -> m = None) maybe_msgs -> Not_a_path
@@ -80,10 +139,10 @@ let classify_sequence ccp ~(from_ : Ccp.ckpt) ~(to_ : Ccp.ckpt) msg_ids =
     let first = List.hd msgs in
     let last = List.nth msgs (List.length msgs - 1) in
     let valid_ends =
-      first.src = from_.pid
-      && first.send_interval >= from_.index + 1
-      && last.dst = to_.pid
-      && last.recv_interval <= to_.index
+      first.Ccp.src = from_.pid
+      && first.Ccp.send_interval >= from_.index + 1
+      && last.Ccp.dst = to_.pid
+      && last.Ccp.recv_interval <= to_.index
     in
     let rec check_hops causal = function
       | (m1 : Ccp.message) :: (m2 : Ccp.message) :: rest ->
@@ -99,3 +158,6 @@ let classify_sequence ccp ~(from_ : Ccp.ckpt) ~(to_ : Ccp.ckpt) msg_ids =
       | Some true -> Causal_path
       | Some false -> Non_causal_zigzag
     end
+
+let classify_sequence ccp ~from_ ~to_ msg_ids =
+  classify_sequence_from (analyzer ccp) ~from_ ~to_ msg_ids

@@ -38,6 +38,10 @@ type t = {
   mutable crashed_pending : int list;
   mutable recoveries : Session.report list;
   mutable on_sample : (t -> unit) option;
+  (* Live CCP view, created on first [ccp] query so runs that never ask
+     for the ground truth pay nothing; once created it folds each trace
+     event as it is recorded instead of rebuilding from scratch. *)
+  mutable ccp_incr : Ccp.Incremental.t option;
 }
 
 let config t = t.cfg
@@ -46,7 +50,13 @@ let now t = Engine.now t.engine
 let trace t = t.trace
 let middleware t pid = t.middlewares.(pid)
 let collector t pid = t.collectors.(pid)
-let ccp t = Ccp.of_trace t.trace
+let ccp t =
+  match t.ccp_incr with
+  | Some incr -> Ccp.Incremental.ccp incr
+  | None ->
+    let incr = Ccp.Incremental.of_trace t.trace in
+    t.ccp_incr <- Some incr;
+    Ccp.Incremental.ccp incr
 let retained_series t = t.series_retained
 let total_retained_series t = t.series_total
 let optimal_retained_series t = t.series_optimal
@@ -267,8 +277,7 @@ let sample t =
     let li = Global_gc.last_interval_vector snaps in
     let optimal = ref 0 in
     for pid = 0 to t.cfg.Sim_config.n - 1 do
-      optimal :=
-        !optimal + List.length (Global_gc.theorem1_retained snaps ~me:pid ~li)
+      optimal := !optimal + Global_gc.theorem1_retained_count snaps ~me:pid ~li
     done;
     Series.add_int t.series_optimal ~time ~value:!optimal
   end;
@@ -335,6 +344,7 @@ let create (cfg : Sim_config.t) =
       crashed_pending = [];
       recoveries = [];
       on_sample = None;
+      ccp_incr = None;
     }
   in
   for pid = 0 to cfg.n - 1 do

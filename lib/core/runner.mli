@@ -41,7 +41,12 @@ val trace : t -> Rdt_ccp.Trace.t
 val middleware : t -> int -> Rdt_protocols.Middleware.t
 val collector : t -> int -> Rdt_gc.Rdt_lgc.t option
 val ccp : t -> Rdt_ccp.Ccp.t
-(** Ground-truth CCP of the execution so far (rebuilt from the trace). *)
+(** Ground-truth CCP of the execution so far.  Maintained incrementally:
+    the first call attaches a {!Rdt_ccp.Ccp.Incremental} view to the
+    trace, after which each query folds only the events recorded since
+    the previous one (a rollback triggers one full rebuild).  The result
+    is a live view — do not retain it across further simulation steps;
+    query again instead. *)
 
 (* Metrics *)
 

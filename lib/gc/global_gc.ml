@@ -44,7 +44,7 @@ let retained_for ~entries ~live_dv ~f ~li_f =
 
 module Int_set = Set.Make (Int)
 
-let theorem1_retained snaps ~me ~li =
+let theorem1_keep_set snaps ~me ~li =
   let snap = snaps.(me) in
   let keep = ref (Int_set.singleton (last_index snap)) in
   for f = 0 to Array.length snaps - 1 do
@@ -55,7 +55,13 @@ let theorem1_retained snaps ~me ~li =
     | Some index -> keep := Int_set.add index !keep
     | None -> ()
   done;
-  Int_set.elements !keep
+  !keep
+
+let theorem1_retained snaps ~me ~li =
+  Int_set.elements (theorem1_keep_set snaps ~me ~li)
+
+let theorem1_retained_count snaps ~me ~li =
+  Int_set.cardinal (theorem1_keep_set snaps ~me ~li)
 
 let theorem1_collectable snaps ~me ~li =
   let keep = Int_set.of_list (theorem1_retained snaps ~me ~li) in

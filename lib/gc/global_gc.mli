@@ -44,6 +44,10 @@ val theorem1_retained : snapshot array -> me:int -> li:int array -> int list
     entry [f] while its own does not; plus always the last stable
     checkpoint. *)
 
+val theorem1_retained_count : snapshot array -> me:int -> li:int array -> int
+(** [List.length (theorem1_retained ...)] without materializing the list —
+    the runner's per-sample "optimal" instrumentation. *)
+
 val theorem1_collectable : snapshot array -> me:int -> li:int array -> int list
 (** Complement of {!theorem1_retained} within the retained set — what the
     Wang-style coordinated collector tells [me] to eliminate. *)

@@ -1,4 +1,5 @@
 module Ccp = Rdt_ccp.Ccp
+module Vector_clock = Rdt_causality.Vector_clock
 
 let witnesses ccp (c : Ccp.ckpt) =
   if not (Ccp.is_stable ccp c) then
@@ -12,14 +13,55 @@ let witnesses ccp (c : Ccp.ckpt) =
 
 let needed_by = witnesses
 
-let is_obsolete ccp c = witnesses ccp c = []
+(* DV-style fast path for the Theorem-1 sweeps: [precedes last_f x] only
+   reads the [f] entry of two clocks (Equation 2 shape), and [last_f] is
+   shared by every query of a sweep — so preload [VC(s^last_f).(f)] for
+   all [f] once and answer each witness test with two integer compares.
+   The [last_f = x] equality guards reproduce [Ccp.precedes]'s
+   irreflexivity exactly. *)
+let last_entries ccp =
+  Array.init (Ccp.n ccp) (fun f ->
+      Ccp.vc_entry ccp (Ccp.last_stable_ckpt ccp f) f)
 
-let obsolete ccp = List.filter (is_obsolete ccp) (Ccp.stable_checkpoints ccp)
+let has_witness ccp ~last_entry (c : Ccp.ckpt) =
+  let n = Ccp.n ccp in
+  let p = c.pid in
+  let lp = Ccp.last_stable ccp p in
+  let vc_c = Ccp.vc ccp c in
+  let vc_s = Ccp.vc ccp { pid = p; index = c.index + 1 } in
+  let rec loop f =
+    if f >= n then false
+    else begin
+      let precedes_successor =
+        (not (f = p && lp = c.index + 1))
+        && last_entry.(f) <= Vector_clock.get vc_s f
+      in
+      let precedes_c =
+        (not (f = p && lp = c.index))
+        && last_entry.(f) <= Vector_clock.get vc_c f
+      in
+      (precedes_successor && not precedes_c) || loop (f + 1)
+    end
+  in
+  loop 0
+
+let is_obsolete ccp c =
+  if not (Ccp.is_stable ccp c) then
+    invalid_arg "Oracle: Theorem 1 characterizes stable checkpoints";
+  not (has_witness ccp ~last_entry:(last_entries ccp) c)
+
+let obsolete ccp =
+  let last_entry = last_entries ccp in
+  List.filter
+    (fun c -> not (has_witness ccp ~last_entry c))
+    (Ccp.stable_checkpoints ccp)
 
 let retained ccp ~pid =
+  let last_entry = last_entries ccp in
   List.filter_map
     (fun index ->
-      if is_obsolete ccp { Ccp.pid; index } then None else Some index)
+      if has_witness ccp ~last_entry { Ccp.pid; index } then Some index
+      else None)
     (List.init (Ccp.last_stable ccp pid + 1) Fun.id)
 
 let retained_count ccp ~pid = List.length (retained ccp ~pid)

@@ -11,7 +11,13 @@
     - the idealized "instant global knowledge" upper baseline of the
       storage experiments (no real collector can beat it).
 
-    Only meaningful on RD-trackable CCPs (Theorem 1's proof uses RDT). *)
+    Only meaningful on RD-trackable CCPs (Theorem 1's proof uses RDT).
+
+    The sweeps ({!obsolete}, {!retained}) answer each witness query from
+    [n] preloaded [VC(s^last_f).(f)] entries (the Equation-2 fast path for
+    {!Rdt_ccp.Ccp.precedes}): two integer compares per (checkpoint,
+    process) pair, no clock allocation — cheap enough to run at every
+    sample point of an oracle-instrumented simulation. *)
 
 val obsolete : Rdt_ccp.Ccp.t -> Rdt_ccp.Ccp.ckpt list
 (** All obsolete stable checkpoints of the CCP. *)

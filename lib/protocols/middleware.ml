@@ -113,8 +113,8 @@ let receive t msg ~now =
     take_checkpoint t ~kind:Forced ~now;
   Trace.record_receive t.trace ~pid:t.me ~msg_id:msg.msg_id ~src:msg.src;
   t.app_state <- evolve_state t.app_state (2 * msg.msg_id);
-  let changed = Dependency_vector.merge_from_message t.dv msg.control.dv in
-  List.iter t.hooks.on_new_dependency changed;
+  Dependency_vector.merge_from_message_iter t.dv msg.control.dv
+    ~f:t.hooks.on_new_dependency;
   t.proto.Protocol.note_receive ~incoming:msg.control
 
 let rollback t ~to_index ~li =

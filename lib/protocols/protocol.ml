@@ -13,7 +13,7 @@ type instance = {
 type t = { id : string; rdt : bool; make : n:int -> me:int -> instance }
 
 let brings_new_dependency ~local_dv ~(incoming : Control.t) =
-  Dependency_vector.newer_entries ~local:local_dv ~incoming:incoming.dv <> []
+  Dependency_vector.has_newer_entries ~local:local_dv ~incoming:incoming.dv
 
 (* FDAS: the dependency vector is frozen from the first send of the
    interval onward. *)

@@ -21,5 +21,7 @@ let () =
       ("runner", Test_runner.suite);
       ("workload", Test_workload.suite);
       ("metrics", Test_metrics.suite);
+      ("ccp-incremental", Test_ccp_incremental.suite);
+      ("parallel", Test_parallel.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]
