@@ -218,6 +218,109 @@ let ccp_incremental_test =
 
 let ccp_tests = [ ccp_rebuild_test; ccp_incremental_test ]
 
+(* --- durable log store (lib/store) ------------------------------------- *)
+
+module Log_store = Rdt_store.Log_store
+module Stable_store = Rdt_storage.Stable_store
+
+let bench_tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rdtgc_bench_store_%d_%d" (Unix.getpid ()) !counter)
+
+let store_entry index =
+  {
+    Stable_store.index;
+    dv = [| index; 0; 0; 0 |];
+    taken_at = float_of_int index;
+    size_bytes = 256;
+    payload = index;
+  }
+
+(* Steady state: append s^i and collect s^(i-8) — the live set stays at 8
+   and auto-compaction keeps the directory bounded, so each call is the
+   durable cost of one checkpoint under a working collector. *)
+let store_append_setup ~config =
+  let t = Log_store.create ~config ~pid:0 ~dir:(bench_tmp_dir ()) () in
+  for j = 0 to 7 do
+    Log_store.append t (store_entry j)
+  done;
+  let i = ref 8 in
+  fun () ->
+    Log_store.append t (store_entry !i);
+    Log_store.eliminate t ~index:(!i - 8);
+    incr i
+
+let store_append_tests =
+  [
+    Test.make ~name:"store/append+collect/fsync=never"
+      (Staged.stage
+         (store_append_setup
+            ~config:
+              { Log_store.default_config with Log_store.fsync = Log_store.Never }));
+    Test.make ~name:"store/append+collect/fsync=every64"
+      (Staged.stage (store_append_setup ~config:Log_store.default_config));
+    Test.make ~name:"store/append+collect/fsync=always,batch=1"
+      (Staged.stage
+         (store_append_setup
+            ~config:
+              {
+                Log_store.default_config with
+                Log_store.fsync = Log_store.Always;
+                batch_records = 1;
+              }));
+  ]
+
+(* One full compaction cycle: 16 checkpoints written and obsoleted, then
+   the sealed garbage rewritten away.  Thanks to the paper's n+1 bound the
+   rewrite set is tiny regardless of how much was collected. *)
+let store_compact_setup () =
+  let config = { Log_store.default_config with Log_store.auto_compact = false } in
+  let t = Log_store.create ~config ~pid:0 ~dir:(bench_tmp_dir ()) () in
+  Log_store.append t (store_entry 0);
+  let top = ref 0 in
+  fun () ->
+    for j = 1 to 16 do
+      Log_store.append t (store_entry (!top + j))
+    done;
+    for j = 0 to 15 do
+      Log_store.eliminate t ~index:(!top + j)
+    done;
+    top := !top + 16;
+    Log_store.compact t
+
+let store_recovery_scan_setup ~records =
+  let config =
+    {
+      Log_store.default_config with
+      Log_store.auto_compact = false;
+      fsync = Log_store.Never;
+    }
+  in
+  let dir = bench_tmp_dir () in
+  let t = Log_store.create ~config ~pid:0 ~dir () in
+  for i = 0 to records - 1 do
+    Log_store.append t (store_entry i);
+    if i >= 8 then Log_store.eliminate t ~index:(i - 8)
+  done;
+  Log_store.close t;
+  (* opening never writes, so every run scans the identical directory *)
+  fun () ->
+    let ro = Log_store.create ~config ~pid:0 ~dir () in
+    Log_store.close ro
+
+let store_tests =
+  store_append_tests
+  @ [
+      Test.make ~name:"store/compact-cycle/16-ckpts"
+        (Staged.stage (store_compact_setup ()));
+      Test.make ~name:"store/recovery-scan/512-ckpts"
+        (Staged.stage (store_recovery_scan_setup ~records:512));
+    ]
+
 let run_group ~quota tests =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
@@ -349,6 +452,7 @@ let micro_groups =
     ("Theorem 1 retained-set computation", theorem1_tests);
     ("zigzag reachability (analysis substrate)", zigzag_tests);
     ("incremental CCP engine vs full rebuild", ccp_tests);
+    ("durable log store: append path, compaction, recovery scan", store_tests);
   ]
 
 (* [smoke] is the CI-oriented subset: just the incremental-CCP criterion

@@ -126,8 +126,21 @@ let knowledge_arg =
 let series_arg =
   Arg.(value & flag & info [ "series" ] ~doc:"Print the retained-checkpoints time series.")
 
+let store_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store-dir" ] ~docv:"DIR"
+           ~doc:"Persist checkpoints in a log-structured on-disk store under \
+                 \\$(docv)/p<pid> (default: in-memory stable storage). The \
+                 directory must be fresh; inspect it afterwards with \
+                 'rdtgc store-stats \\$(docv)'.")
+
+let ckpt_bytes_arg =
+  Arg.(value & opt int 1
+       & info [ "ckpt-bytes" ] ~docv:"B"
+           ~doc:"Synthetic size of one checkpoint payload (bytes).")
+
 let build_config n seed duration protocol gc pattern send_interval
-    ckpt_interval reply loss fifo faults knowledge =
+    ckpt_interval reply loss fifo faults knowledge store_dir ckpt_bytes =
   {
     Sim_config.n;
     seed;
@@ -145,14 +158,21 @@ let build_config n seed duration protocol gc pattern send_interval
       };
     net = { Rdt_sim.Network.default with loss_probability = loss; fifo };
     sample_interval = Float.max 1.0 (duration /. 50.0);
-    ckpt_bytes = 1;
+    ckpt_bytes;
+    store =
+      (match store_dir with
+      | None -> Sim_config.Memory
+      | Some dir ->
+        Sim_config.Durable
+          { dir; config = Rdt_store.Log_store.default_config });
   }
 
 let config_term =
   Term.(
     const build_config $ n_arg $ seed_arg $ duration_arg $ protocol_arg
     $ gc_arg $ pattern_arg $ send_interval_arg $ ckpt_interval_arg $ reply_arg
-    $ loss_arg $ fifo_arg $ crash_arg $ knowledge_arg)
+    $ loss_arg $ fifo_arg $ crash_arg $ knowledge_arg $ store_dir_arg
+    $ ckpt_bytes_arg)
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -160,6 +180,7 @@ let do_run cfg series =
   Sim_config.validate cfg;
   let t = Runner.create cfg in
   Runner.run t;
+  Runner.sync_stores t;
   Format.printf "%a@." Runner.pp_summary (Runner.summary t);
   List.iter
     (fun r -> Format.printf "%a@." Rdt_recovery.Session.pp_report r)
@@ -168,7 +189,8 @@ let do_run cfg series =
     Format.printf "@.%a@." Series.pp (Runner.total_retained_series t);
     if Series.length (Runner.optimal_retained_series t) > 0 then
       Format.printf "%a@." Series.pp (Runner.optimal_retained_series t)
-  end
+  end;
+  Runner.close_stores t
 
 let run_cmd =
   let doc = "Simulate a checkpointed distributed system with garbage collection." in
@@ -309,6 +331,112 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc) Term.(const do_sweep $ config_term $ seeds_arg)
 
+(* --- store-stats -------------------------------------------------------- *)
+
+let do_store_stats dir =
+  let module Log_store = Rdt_store.Log_store in
+  let module Table = Rdt_metrics.Table in
+  let pids =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match int_of_string_opt (String.sub name 1 (String.length name - 1))
+           with
+           | Some pid
+             when String.length name > 1
+                  && name.[0] = 'p'
+                  && Sys.is_directory (Filename.concat dir name) ->
+             Some pid
+           | _ | (exception Invalid_argument _) -> None)
+    |> List.sort compare
+  in
+  if pids = [] then begin
+    Format.eprintf "no p<pid> store directories under %s@." dir;
+    exit 1
+  end;
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("process", Table.Left);
+          ("segments", Table.Right);
+          ("live ckpts", Table.Right);
+          ("live bytes", Table.Right);
+          ("dead bytes", Table.Right);
+          ("disk bytes", Table.Right);
+          ("appended", Table.Right);
+          ("compactions", Table.Right);
+          ("reclaimed", Table.Right);
+        ]
+  in
+  let tot = ref None in
+  List.iter
+    (fun pid ->
+      let ls =
+        Log_store.create ~pid ~dir:(Filename.concat dir (Printf.sprintf "p%d" pid)) ()
+      in
+      let r = Log_store.recovery ls in
+      if r.Log_store.records_dropped > 0 || r.Log_store.torn_bytes > 0 then
+        Format.eprintf "p%d: scan dropped %d corrupt record(s), %d torn byte(s)@."
+          pid r.Log_store.records_dropped r.Log_store.torn_bytes;
+      let s = Log_store.stats ls in
+      Log_store.close ls;
+      Table.add_row table
+        [
+          Printf.sprintf "p%d" pid;
+          string_of_int s.Log_store.segments;
+          string_of_int s.Log_store.live_records;
+          string_of_int s.Log_store.live_bytes;
+          string_of_int s.Log_store.dead_bytes;
+          string_of_int s.Log_store.disk_bytes;
+          string_of_int s.Log_store.appended_records;
+          string_of_int s.Log_store.compactions;
+          string_of_int s.Log_store.bytes_reclaimed;
+        ];
+      tot :=
+        Some
+          (match !tot with
+          | None -> s
+          | Some (a : Log_store.stats) ->
+            {
+              a with
+              Log_store.segments = a.Log_store.segments + s.Log_store.segments;
+              live_records = a.Log_store.live_records + s.Log_store.live_records;
+              live_bytes = a.Log_store.live_bytes + s.Log_store.live_bytes;
+              dead_bytes = a.Log_store.dead_bytes + s.Log_store.dead_bytes;
+              disk_bytes = a.Log_store.disk_bytes + s.Log_store.disk_bytes;
+              appended_records =
+                a.Log_store.appended_records + s.Log_store.appended_records;
+              compactions = a.Log_store.compactions + s.Log_store.compactions;
+              bytes_reclaimed =
+                a.Log_store.bytes_reclaimed + s.Log_store.bytes_reclaimed;
+            }))
+    pids;
+  (match !tot with
+  | Some s when List.length pids > 1 ->
+    Table.add_row table
+      [
+        "total";
+        string_of_int s.Log_store.segments;
+        string_of_int s.Log_store.live_records;
+        string_of_int s.Log_store.live_bytes;
+        string_of_int s.Log_store.dead_bytes;
+        string_of_int s.Log_store.disk_bytes;
+        string_of_int s.Log_store.appended_records;
+        string_of_int s.Log_store.compactions;
+        string_of_int s.Log_store.bytes_reclaimed;
+      ]
+  | _ -> ());
+  Table.print table
+
+let store_stats_cmd =
+  let doc =
+    "Inspect a durable checkpoint store directory (as written by 'rdtgc run \
+     --store-dir'): per-process segment counts, live/dead bytes and \
+     compaction work."
+  in
+  let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  Cmd.v (Cmd.info "store-stats" ~doc) Term.(const do_store_stats $ dir_arg)
+
 (* --- figure4 ------------------------------------------------------------ *)
 
 let do_figure4 () =
@@ -363,6 +491,7 @@ let () =
             analyze_cmd;
             inspect_cmd;
             sweep_cmd;
+            store_stats_cmd;
             figure4_cmd;
             protocols_cmd;
           ]))

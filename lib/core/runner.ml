@@ -4,6 +4,7 @@ module Trace = Rdt_ccp.Trace
 module Ccp = Rdt_ccp.Ccp
 module Middleware = Rdt_protocols.Middleware
 module Stable_store = Rdt_storage.Stable_store
+module Log_store = Rdt_store.Log_store
 module Rdt_lgc = Rdt_gc.Rdt_lgc
 module Global_gc = Rdt_gc.Global_gc
 module Session = Rdt_recovery.Session
@@ -30,10 +31,13 @@ type t = {
   trace : Trace.t;
   middlewares : Middleware.t array;
   collectors : Rdt_lgc.t option array;
+  log_stores : Log_store.t option array;
   workload : Workload.t;
   series_retained : Series.t array;
   series_total : Series.t;
   series_optimal : Series.t;
+  series_store_live_bytes : Series.t;
+  series_store_dead_bytes : Series.t;
   rounds : round_state;
   mutable crashed_pending : int list;
   mutable recoveries : Session.report list;
@@ -60,8 +64,18 @@ let ccp t =
 let retained_series t = t.series_retained
 let total_retained_series t = t.series_total
 let optimal_retained_series t = t.series_optimal
+let store_live_bytes_series t = t.series_store_live_bytes
+let store_dead_bytes_series t = t.series_store_dead_bytes
 let recoveries t = List.rev t.recoveries
 let set_on_sample t f = t.on_sample <- Some f
+let log_store t pid = t.log_stores.(pid)
+let durable t = Array.exists Option.is_some t.log_stores
+
+let sync_stores t =
+  Array.iter (function Some ls -> Log_store.sync ls | None -> ()) t.log_stores
+
+let close_stores t =
+  Array.iter (function Some ls -> Log_store.close ls | None -> ()) t.log_stores
 
 let snapshots t = Array.map Session.snapshot_of t.middlewares
 
@@ -272,6 +286,19 @@ let sample t =
       Series.add_int t.series_retained.(pid) ~time ~value:count)
     t.middlewares;
   Series.add_int t.series_total ~time ~value:!total;
+  if durable t then begin
+    let live = ref 0 and dead = ref 0 in
+    Array.iter
+      (function
+        | Some ls ->
+          let s = Log_store.stats ls in
+          live := !live + s.Log_store.live_bytes;
+          dead := !dead + s.Log_store.dead_bytes
+        | None -> ())
+      t.log_stores;
+    Series.add_int t.series_store_live_bytes ~time ~value:!live;
+    Series.add_int t.series_store_dead_bytes ~time ~value:!dead
+  end;
   if t.cfg.Sim_config.protocol.Rdt_protocols.Protocol.rdt then begin
     let snaps = snapshots t in
     let li = Global_gc.last_interval_vector snaps in
@@ -296,10 +323,37 @@ let create (cfg : Sim_config.t) =
   Sim_config.validate cfg;
   let engine = Engine.create ~n:cfg.n ~seed:cfg.seed ~net:cfg.net () in
   let trace = Trace.create ~n:cfg.n in
+  let log_stores =
+    Array.init cfg.n (fun me ->
+        match cfg.store with
+        | Sim_config.Memory -> None
+        | Sim_config.Durable { dir; config } ->
+          let ls =
+            Log_store.create ~config ~pid:me
+              ~dir:(Filename.concat dir (Printf.sprintf "p%d" me))
+              ()
+          in
+          if (Log_store.recovery ls).Log_store.recovered <> [] then
+            invalid_arg
+              (Printf.sprintf
+                 "Runner.create: store directory %s already holds \
+                  checkpoints; use a fresh directory (recover existing \
+                  ones through Rdt_store.Log_store)"
+                 dir);
+          Some ls)
+  in
   let middlewares =
     Array.init cfg.n (fun me ->
+        let store =
+          match log_stores.(me) with
+          | None -> None
+          | Some ls ->
+            let store = Stable_store.create ~me in
+            Stable_store.set_backend store (Log_store.backend ls);
+            Some store
+        in
         Middleware.create ~n:cfg.n ~me ~protocol:cfg.protocol ~trace
-          ~ckpt_bytes:cfg.ckpt_bytes ())
+          ~ckpt_bytes:cfg.ckpt_bytes ?store ())
   in
   let collectors =
     Array.init cfg.n (fun me ->
@@ -326,12 +380,15 @@ let create (cfg : Sim_config.t) =
       trace;
       middlewares;
       collectors;
+      log_stores;
       workload;
       series_retained =
         Array.init cfg.n (fun pid ->
             Series.create ~name:(Printf.sprintf "retained-p%d" pid));
       series_total = Series.create ~name:"retained-total";
       series_optimal = Series.create ~name:"retained-optimal";
+      series_store_live_bytes = Series.create ~name:"store-live-bytes";
+      series_store_dead_bytes = Series.create ~name:"store-dead-bytes";
       rounds =
         {
           next_round = 0;
@@ -396,6 +453,10 @@ type summary = {
   gc_rounds : int;
   recovery_sessions : int;
   checkpoints_rolled_back : int;
+  store_segments : int;
+  store_live_bytes : int;
+  store_dead_bytes : int;
+  store_compactions : int;
 }
 
 let summary t =
@@ -403,6 +464,11 @@ let summary t =
   let store_stats = Array.map Stable_store.stats stores in
   let sum f = Array.fold_left (fun acc x -> acc + f x) 0 in
   let engine_stats = Engine.stats t.engine in
+  let log_stats =
+    Array.to_list t.log_stores
+    |> List.filter_map (Option.map Log_store.stats)
+  in
+  let sum_log f = List.fold_left (fun acc s -> acc + f s) 0 log_stats in
   {
     n = t.cfg.Sim_config.n;
     duration = t.cfg.Sim_config.duration;
@@ -435,6 +501,10 @@ let summary t =
       List.fold_left
         (fun acc (r : Session.report) -> acc + r.checkpoints_rolled_back)
         0 t.recoveries;
+    store_segments = sum_log (fun (s : Log_store.stats) -> s.segments);
+    store_live_bytes = sum_log (fun (s : Log_store.stats) -> s.live_bytes);
+    store_dead_bytes = sum_log (fun (s : Log_store.stats) -> s.dead_bytes);
+    store_compactions = sum_log (fun (s : Log_store.stats) -> s.compactions);
   }
 
 let pp_summary ppf s =
@@ -449,10 +519,16 @@ let pp_summary ppf s =
      retained: final=(%a) peak=(%a) global-peak=%d@,\
      mean total retained %.2f (optimal %.2f)@,\
      messages: %d app (%d piggybacked control words), %d control (%d gc rounds)@,\
-     recoveries: %d sessions, %d checkpoints rolled back@]"
+     recoveries: %d sessions, %d checkpoints rolled back"
     s.n s.duration s.protocol s.gc s.basic_checkpoints s.forced_checkpoints
     s.stored_total s.eliminated_total pp_ints s.final_retained pp_ints
     s.peak_retained s.peak_retained_global s.mean_total_retained
     s.mean_optimal_retained s.app_messages s.piggyback_words
     s.control_messages s.gc_rounds s.recovery_sessions
-    s.checkpoints_rolled_back
+    s.checkpoints_rolled_back;
+  if s.store_segments > 0 then
+    Format.fprintf ppf
+      "@,durable store: %d segments, %d live B / %d dead B, %d compactions"
+      s.store_segments s.store_live_bytes s.store_dead_bytes
+      s.store_compactions;
+  Format.fprintf ppf "@]"

@@ -58,6 +58,26 @@ val optimal_retained_series : t -> Rdt_metrics.Series.t
 
 val recoveries : t -> Rdt_recovery.Session.report list
 
+(* Durable store *)
+
+val durable : t -> bool
+(** [true] iff the scenario runs the log-structured on-disk backend. *)
+
+val log_store : t -> int -> Rdt_store.Log_store.t option
+(** Process [pid]'s on-disk store ([None] under the memory backend). *)
+
+val sync_stores : t -> unit
+(** Force every pending store write to disk (fsync). *)
+
+val close_stores : t -> unit
+(** Flush, sync and close every on-disk store.  Call once the run (and
+    any post-run inspection through {!log_store}) is finished. *)
+
+val store_live_bytes_series : t -> Rdt_metrics.Series.t
+val store_dead_bytes_series : t -> Rdt_metrics.Series.t
+(** Summed on-disk live/dead bytes across processes, sampled at the
+    metrics interval (empty under the memory backend). *)
+
 type summary = {
   n : int;
   duration : float;
@@ -81,6 +101,10 @@ type summary = {
   gc_rounds : int;
   recovery_sessions : int;
   checkpoints_rolled_back : int;
+  store_segments : int;  (** on-disk segment files, all processes (0 = memory backend) *)
+  store_live_bytes : int;
+  store_dead_bytes : int;
+  store_compactions : int;
 }
 
 val summary : t -> summary

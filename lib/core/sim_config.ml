@@ -16,6 +16,14 @@ let gc_policy_name = function
 
 type fault = { crash_at : float; pid : int; repair_after : float }
 
+type store_backend =
+  | Memory
+  | Durable of { dir : string; config : Rdt_store.Log_store.config }
+
+let store_backend_name = function
+  | Memory -> "memory"
+  | Durable { dir; _ } -> Printf.sprintf "durable:%s" dir
+
 type t = {
   n : int;
   seed : int;
@@ -28,6 +36,7 @@ type t = {
   knowledge : Rdt_recovery.Session.knowledge;
   sample_interval : float;
   ckpt_bytes : int;
+  store : store_backend;
 }
 
 let default =
@@ -43,6 +52,7 @@ let default =
     knowledge = `Global;
     sample_interval = 5.0;
     ckpt_bytes = 1;
+    store = Memory;
   }
 
 let validate t =

@@ -32,6 +32,15 @@ type fault = {
 (** Fault windows must not overlap the same process crashing twice;
     concurrent crashes of different processes are supported. *)
 
+type store_backend =
+  | Memory  (** the historical in-memory stable-storage model *)
+  | Durable of { dir : string; config : Rdt_store.Log_store.config }
+      (** every process [p] persists its checkpoints in a log-structured
+          store under [dir/p<pid>]; [dir] must be fresh (recovery of an
+          existing directory goes through {!Rdt_store.Log_store} directly) *)
+
+val store_backend_name : store_backend -> string
+
 type t = {
   n : int;
   seed : int;
@@ -46,6 +55,7 @@ type t = {
           [`Causal] leaves each process to its own dependency vector *)
   sample_interval : float;  (** metrics sampling period *)
   ckpt_bytes : int;  (** synthetic size of one checkpoint *)
+  store : store_backend;  (** where stable storage actually lives *)
 }
 
 val default : t

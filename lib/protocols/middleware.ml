@@ -57,7 +57,15 @@ let take_checkpoint t ~kind ~now =
   | Basic -> t.basic_count <- t.basic_count + 1
   | Forced -> t.forced_count <- t.forced_count + 1
 
-let create ~n ~me ~protocol ~trace ?(ckpt_bytes = 1) () =
+let create ~n ~me ~protocol ~trace ?(ckpt_bytes = 1) ?store () =
+  let store =
+    match store with
+    | None -> Stable_store.create ~me
+    | Some s ->
+      if Stable_store.count s <> 0 then
+        invalid_arg "Middleware.create: supplied store must be empty";
+      s
+  in
   let t =
     {
       n;
@@ -65,7 +73,7 @@ let create ~n ~me ~protocol ~trace ?(ckpt_bytes = 1) () =
       proto = protocol.Protocol.make ~n ~me;
       proto_name = protocol.Protocol.id;
       trace;
-      store = Stable_store.create ~me;
+      store;
       archive = Rdt_storage.Dv_archive.create ~me;
       dv = Dependency_vector.create ~n;
       ckpt_bytes;

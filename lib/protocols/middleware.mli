@@ -48,6 +48,7 @@ val create :
   protocol:Protocol.t ->
   trace:Rdt_ccp.Trace.t ->
   ?ckpt_bytes:int ->
+  ?store:Rdt_storage.Stable_store.t ->
   unit ->
   t
 (** Creates the middleware and immediately stores the initial checkpoint
@@ -55,7 +56,12 @@ val create :
     can be attached with {!set_hooks}; attach them before any activity if
     the collector must see [s^0] — {!Rdt_gc.Rdt_lgc} provides
     reinitialization for exactly this bootstrap (its [create] scans the
-    store). *)
+    store).
+
+    [?store] supplies a pre-built (empty) stable store — the runner uses
+    this to hand in a store whose durability backend is a
+    [Rdt_store.Log_store], so [s^0] and everything after it also hit the
+    disk.  Default: a fresh in-memory store. *)
 
 val set_hooks : t -> hooks -> unit
 

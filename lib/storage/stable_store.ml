@@ -13,10 +13,17 @@ type stats = {
   peak_bytes : int;
 }
 
+type backend = {
+  b_store : entry -> unit;
+  b_eliminate : entry -> unit;
+  b_truncate_above : index:int -> unit;
+}
+
 module Int_map = Map.Make (Int)
 
 type t = {
   me : int;
+  mutable backend : backend option;
   mutable entries : entry Int_map.t;
   mutable bytes : int;
   mutable stored_total : int;
@@ -28,6 +35,7 @@ type t = {
 let create ~me =
   {
     me;
+    backend = None;
     entries = Int_map.empty;
     bytes = 0;
     stored_total = 0;
@@ -35,6 +43,24 @@ let create ~me =
     peak_count = 0;
     peak_bytes = 0;
   }
+
+let set_backend t backend = t.backend <- Some backend
+
+let restore ~me ~entries =
+  let t = create ~me in
+  List.iter
+    (fun entry ->
+      if entry.index <= (match Int_map.max_binding_opt t.entries with
+                         | None -> -1
+                         | Some (i, _) -> i)
+      then invalid_arg "Stable_store.restore: entries not ascending";
+      t.entries <- Int_map.add entry.index entry t.entries;
+      t.bytes <- t.bytes + entry.size_bytes)
+    entries;
+  t.stored_total <- Int_map.cardinal t.entries;
+  t.peak_count <- Int_map.cardinal t.entries;
+  t.peak_bytes <- t.bytes;
+  t
 
 let me t = t.me
 
@@ -56,7 +82,8 @@ let store t ~index ~dv ~now ~size_bytes ?(payload = 0) () =
   t.bytes <- t.bytes + size_bytes;
   t.stored_total <- t.stored_total + 1;
   t.peak_count <- max t.peak_count (Int_map.cardinal t.entries);
-  t.peak_bytes <- max t.peak_bytes t.bytes
+  t.peak_bytes <- max t.peak_bytes t.bytes;
+  match t.backend with Some b -> b.b_store entry | None -> ()
 
 let eliminate t ~index =
   match Int_map.find_opt index t.entries with
@@ -67,15 +94,25 @@ let eliminate t ~index =
   | Some entry ->
     t.entries <- Int_map.remove index t.entries;
     t.bytes <- t.bytes - entry.size_bytes;
-    t.eliminated_total <- t.eliminated_total + 1
+    t.eliminated_total <- t.eliminated_total + 1;
+    (match t.backend with Some b -> b.b_eliminate entry | None -> ())
 
 let truncate_above t ~index =
   let doomed =
     Int_map.fold
-      (fun idx _ acc -> if idx > index then idx :: acc else acc)
+      (fun idx entry acc -> if idx > index then (idx, entry) :: acc else acc)
       t.entries []
   in
-  List.iter (fun idx -> eliminate t ~index:idx) doomed;
+  List.iter
+    (fun (idx, entry) ->
+      t.entries <- Int_map.remove idx t.entries;
+      t.bytes <- t.bytes - entry.size_bytes;
+      t.eliminated_total <- t.eliminated_total + 1)
+    doomed;
+  (* one truncation record, not one tombstone per checkpoint: a rollback
+     is a single durable event *)
+  if doomed <> [] then
+    (match t.backend with Some b -> b.b_truncate_above ~index | None -> ());
   List.length doomed
 
 let mem t ~index = Int_map.mem index t.entries

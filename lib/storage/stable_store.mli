@@ -25,9 +25,38 @@ type stats = {
   peak_bytes : int;
 }
 
+type backend = {
+  b_store : entry -> unit;  (** a checkpoint was written *)
+  b_eliminate : entry -> unit;  (** a checkpoint was collected *)
+  b_truncate_above : index:int -> unit;
+      (** a rollback removed everything above [index] *)
+}
+(** Durability mirror.  The in-memory map stays the source of truth for
+    queries ([find]/[mem]/[retained] never touch the disk); every
+    *mutation* is forwarded to the backend after the map is updated, so a
+    log-structured store ({!Rdt_store.Log_store}) can persist the same
+    history the simulator sees.  A backend call that raises (injected
+    storage crash) leaves the in-memory map updated — the volatile state
+    is ahead of the durable one, exactly the situation crash recovery must
+    cope with. *)
+
 type t
 
 val create : me:int -> t
+(** No backend: the pure in-memory model. *)
+
+val set_backend : t -> backend -> unit
+(** Attach the durability mirror.  Must happen before the first mutation
+    (i.e. before the middleware stores [s^0]); mutations already applied
+    are not replayed into the backend. *)
+
+val restore : me:int -> entries:entry list -> t
+(** Rebuild a store from checkpoints that survived a crash ([entries] in
+    ascending index order, as {!Rdt_store.Log_store} recovers them).  A
+    backend attached afterwards sees only *new* mutations — the restored
+    entries are already durable.  The statistics restart from the restored
+    population ([stored_total] = number of entries, nothing
+    eliminated). *)
 
 val me : t -> int
 

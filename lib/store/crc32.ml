@@ -1,0 +1,33 @@
+(* Standard reflected CRC-32 (polynomial 0xEDB88320), one 256-entry
+   table, processed a byte at a time.  Throughput is irrelevant next to
+   the write syscalls it guards. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc b ~pos ~len =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get b i) in
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int byte)) 0xffl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  !crc
+
+let bytes b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes";
+  Int32.lognot (update 0xffffffffl b ~pos ~len)
+
+let string s =
+  let b = Bytes.unsafe_of_string s in
+  bytes b ~pos:0 ~len:(Bytes.length b)

@@ -1,0 +1,84 @@
+type t = {
+  segments : int list;
+  compactions : int;
+  bytes_reclaimed : int;
+  appended_records : int;
+}
+
+let empty =
+  { segments = []; compactions = 0; bytes_reclaimed = 0; appended_records = 0 }
+
+let file_name = "MANIFEST"
+let header = "rdt-store-manifest v1"
+
+let body t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "compactions %d\n" t.compactions);
+  Buffer.add_string buf
+    (Printf.sprintf "bytes_reclaimed %d\n" t.bytes_reclaimed);
+  Buffer.add_string buf
+    (Printf.sprintf "appended_records %d\n" t.appended_records);
+  List.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "segment %d\n" id))
+    (List.sort compare t.segments);
+  Buffer.contents buf
+
+let write ~dir t =
+  let body = body t in
+  let content =
+    Printf.sprintf "%scrc %08lx\n" body (Crc32.string body)
+  in
+  let tmp = Filename.concat dir (file_name ^ ".tmp") in
+  let oc = Out_channel.open_bin tmp in
+  Out_channel.output_string oc content;
+  Out_channel.flush oc;
+  (* flush alone leaves the rename able to outrun the data; fsync first *)
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  Out_channel.close oc;
+  Sys.rename tmp (Filename.concat dir file_name)
+
+let read ~dir =
+  let path = Filename.concat dir file_name in
+  if not (Sys.file_exists path) then None
+  else begin
+    let content =
+      let ic = In_channel.open_bin path in
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () -> In_channel.input_all ic)
+    in
+    (* last line must be "crc %08lx" of everything before it *)
+    match String.rindex_opt (String.trim content) '\n' with
+    | None -> None
+    | Some i ->
+      let body = String.sub content 0 (i + 1) in
+      let crc_line = String.trim (String.sub content (i + 1) (String.length content - i - 1)) in
+      let expected = Printf.sprintf "crc %08lx" (Crc32.string body) in
+      if crc_line <> expected then None
+      else begin
+        let lines = String.split_on_char '\n' (String.trim body) in
+        match lines with
+        | h :: rest when h = header ->
+          (try
+             let t = ref empty in
+             List.iter
+               (fun line ->
+                 match String.split_on_char ' ' (String.trim line) with
+                 | [ "compactions"; v ] ->
+                   t := { !t with compactions = int_of_string v }
+                 | [ "bytes_reclaimed"; v ] ->
+                   t := { !t with bytes_reclaimed = int_of_string v }
+                 | [ "appended_records"; v ] ->
+                   t := { !t with appended_records = int_of_string v }
+                 | [ "segment"; v ] ->
+                   t := { !t with segments = int_of_string v :: !t.segments }
+                 | [ "" ] -> ()
+                 | _ -> failwith "unknown line")
+               rest;
+             Some { !t with segments = List.rev !t.segments }
+           with Failure _ -> None)
+        | _ -> None
+      end
+  end

@@ -1,0 +1,105 @@
+module Stable_store = Rdt_storage.Stable_store
+
+type t =
+  | Store of { pid : int; lsn : int; entry : Stable_store.entry }
+  | Eliminate of { pid : int; lsn : int; index : int }
+  | Truncate_above of { pid : int; lsn : int; index : int }
+
+let pid = function
+  | Store { pid; _ } | Eliminate { pid; _ } | Truncate_above { pid; _ } -> pid
+
+let lsn = function
+  | Store { lsn; _ } | Eliminate { lsn; _ } | Truncate_above { lsn; _ } -> lsn
+
+(* kind tags *)
+let tag_store = 1
+let tag_eliminate = 2
+let tag_truncate = 3
+
+(* Fixed part: u8 kind, u32 pid, u64 lsn, u32 index. *)
+let head_len = 1 + 4 + 8 + 4
+
+(* Store extension: f64 taken_at, u32 size_bytes, u64 payload, u16 dv_len,
+   then dv_len * u32, then size_bytes filler bytes. *)
+let store_ext_len = 8 + 4 + 8 + 2
+
+let filler_byte ~payload ~k =
+  Char.chr ((payload + (k * 167)) land 0xff)
+
+let put_head b ~kind ~pid ~lsn ~index =
+  Bytes.set_uint8 b 0 kind;
+  Bytes.set_int32_le b 1 (Int32.of_int pid);
+  Bytes.set_int64_le b 5 (Int64.of_int lsn);
+  Bytes.set_int32_le b 13 (Int32.of_int index)
+
+let encode = function
+  | Eliminate { pid; lsn; index } ->
+    let b = Bytes.create head_len in
+    put_head b ~kind:tag_eliminate ~pid ~lsn ~index;
+    b
+  | Truncate_above { pid; lsn; index } ->
+    let b = Bytes.create head_len in
+    put_head b ~kind:tag_truncate ~pid ~lsn ~index;
+    b
+  | Store { pid; lsn; entry } ->
+    let dv_len = Array.length entry.Stable_store.dv in
+    if dv_len > 0xffff then invalid_arg "Record.encode: dv too long";
+    if entry.size_bytes < 0 then invalid_arg "Record.encode: negative size";
+    let b =
+      Bytes.create (head_len + store_ext_len + (4 * dv_len) + entry.size_bytes)
+    in
+    put_head b ~kind:tag_store ~pid ~lsn ~index:entry.index;
+    Bytes.set_int64_le b head_len (Int64.bits_of_float entry.taken_at);
+    Bytes.set_int32_le b (head_len + 8) (Int32.of_int entry.size_bytes);
+    Bytes.set_int64_le b (head_len + 12) (Int64.of_int entry.payload);
+    Bytes.set_uint16_le b (head_len + 20) dv_len;
+    let dv_off = head_len + store_ext_len in
+    Array.iteri
+      (fun i x -> Bytes.set_int32_le b (dv_off + (4 * i)) (Int32.of_int x))
+      entry.dv;
+    let fill_off = dv_off + (4 * dv_len) in
+    for k = 0 to entry.size_bytes - 1 do
+      Bytes.set b (fill_off + k) (filler_byte ~payload:entry.payload ~k)
+    done;
+    b
+
+let u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+
+let decode b =
+  let len = Bytes.length b in
+  if len < head_len then Error "record shorter than header"
+  else begin
+    let kind = Bytes.get_uint8 b 0 in
+    let pid = u32 b 1 in
+    let lsn = Int64.to_int (Bytes.get_int64_le b 5) in
+    let index = u32 b 13 in
+    if kind = tag_eliminate then
+      if len = head_len then Ok (Eliminate { pid; lsn; index })
+      else Error "eliminate record has trailing bytes"
+    else if kind = tag_truncate then
+      if len = head_len then Ok (Truncate_above { pid; lsn; index })
+      else Error "truncate record has trailing bytes"
+    else if kind = tag_store then begin
+      if len < head_len + store_ext_len then Error "store record truncated"
+      else begin
+        let taken_at = Int64.float_of_bits (Bytes.get_int64_le b head_len) in
+        let size_bytes = u32 b (head_len + 8) in
+        let payload = Int64.to_int (Bytes.get_int64_le b (head_len + 12)) in
+        let dv_len = Bytes.get_uint16_le b (head_len + 20) in
+        let expect = head_len + store_ext_len + (4 * dv_len) + size_bytes in
+        if len <> expect then Error "store record length mismatch"
+        else begin
+          let dv_off = head_len + store_ext_len in
+          let dv = Array.init dv_len (fun i -> u32 b (dv_off + (4 * i))) in
+          Ok
+            (Store
+               {
+                 pid;
+                 lsn;
+                 entry = { Stable_store.index; dv; taken_at; size_bytes; payload };
+               })
+        end
+      end
+    end
+    else Error (Printf.sprintf "unknown record kind %d" kind)
+  end

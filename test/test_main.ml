@@ -10,6 +10,7 @@ let () =
       ("rdt-check", Test_rdt_check.suite);
       ("consistency", Test_consistency.suite);
       ("storage", Test_storage.suite);
+      ("store", Test_store.suite);
       ("dv-archive", Test_dv_archive.suite);
       ("protocols", Test_protocols.suite);
       ("rdt-lgc", Test_rdt_lgc.suite);
