@@ -1,4 +1,4 @@
-.PHONY: all build test bench figures eval micro smoke bench-json perf-smoke examples clean
+.PHONY: all build test bench figures eval micro smoke bench-json perf perf-smoke examples clean
 
 all: build
 
@@ -29,6 +29,17 @@ smoke:
 
 # machine-readable micro-benchmark results (writes BENCH_micro.json)
 bench-json: micro
+
+# perf regression check: save the committed BENCH_micro.json as baseline,
+# re-run the micro benchmarks (overwrites BENCH_micro.json), and print a
+# non-fatal WARN line for every >20% ns/run regression or steady-state
+# allocation growth.  Always exits 0 — read the report.
+perf:
+	@mkdir -p _build
+	@git show HEAD:BENCH_micro.json > _build/BENCH_micro.baseline.json \
+	  2>/dev/null || cp BENCH_micro.json _build/BENCH_micro.baseline.json
+	dune exec bench/main.exe -- micro
+	dune exec bench/main.exe -- perf-diff _build/BENCH_micro.baseline.json BENCH_micro.json
 
 # fast perf regression check: the incremental-CCP criterion only
 perf-smoke: smoke

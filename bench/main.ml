@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- eval -j 8    # only E1-E3, E5-E8, 8 domains
      dune exec bench/main.exe -- micro        # only the Bechamel benches
      dune exec bench/main.exe -- smoke        # fast micro subset
+     dune exec bench/main.exe -- perf-diff BASELINE.json CURRENT.json
+                                              # non-fatal regression report
 
    [-j N] fans the independent simulation cells of the figure/eval
    experiments over N domains (default 1; [-j 0] means the machine's
@@ -16,10 +18,17 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|figures|eval|micro|smoke] [-j N]";
+    "usage: main.exe [all|figures|eval|micro|smoke] [-j N]\n\
+    \       main.exe perf-diff BASELINE.json CURRENT.json";
   exit 2
 
 let () =
+  (* perf-diff is a plain file-to-file comparison, not an experiment *)
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "perf-diff" then begin
+    if Array.length Sys.argv <> 4 then usage ();
+    Perf_diff.run ~baseline:Sys.argv.(2) ~current:Sys.argv.(3);
+    exit 0
+  end;
   let what = ref "all" in
   let rec parse i =
     if i < Array.length Sys.argv then begin

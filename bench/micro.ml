@@ -5,16 +5,75 @@
      constant over plain FDAS (one Bechamel test per n and variant);
    - the checkpoint event is O(1) beyond the store write;
    - Algorithm 3 (rollback) is cheap even with n retained checkpoints;
+   - the simulator engine dispatches events without allocating (pooled
+     event queue);
    - the analysis substrate (recovery line, Theorem 1, zigzag BFS) scales.
 
-   Every test is steady-state: the driven state returns to an equivalent
-   configuration after each call, so Bechamel's linear regression over run
-   counts is meaningful. *)
+   Methodology.  Every test is steady-state: the driven state returns to
+   an equivalent configuration after each call, so Bechamel's OLS linear
+   regression over run counts is meaningful.  Three instances are sampled
+   simultaneously per run batch — monotonic clock, minor words allocated
+   and words promoted — and each is regressed against the run count, so
+   next to [ns_per_run] we report [allocs_per_run] (minor words/event)
+   and [promoted_per_run]: the allocation telemetry that makes hot-path
+   regressions visible in BENCH_micro.json (DESIGN.md §10).
+
+   Noise control: sub-microsecond benchmarks need both more measurement
+   budget and larger run counts per sample than millisecond ones before
+   the regression stabilizes — with the default 1 s quota and run counts
+   starting at 1 (where a single sample sits at the timer-noise floor)
+   the n=8 and incremental groups used to report *negative* r² (the OLS
+   fit explained less variance than the sample mean, i.e. pure noise).
+   Each group therefore declares a measurement class scaled to its
+   per-run cost: [`Fast] (sub-microsecond) groups get a long quota, a
+   raised sample limit and a raised starting run count (every sample then
+   measures >= ~10 us of work, far above clock-read jitter) with *linear*
+   run-count growth: the regression still sees a wide span of run counts,
+   but no sample grows past a few milliseconds, so a single scheduler
+   preemption cannot become a high-leverage outlier the way it can on the
+   geometric schedule's 100 ms tail samples; [`Medium] a moderate version
+   of the same; [`Slow] (>= 100 us
+   per run, where even a run count of 1 is well above the noise floor)
+   the Bechamel defaults with a short quota.  Groups must not mix cost
+   scales: a millisecond test in a [`Fast] group would burn the whole
+   quota on a handful of samples (which is why the CCP full-rebuild
+   baseline lives in its own [`Slow] group).  Drivers in the low tens of
+   nanoseconds additionally run [k] calls per measured run (see
+   [make_batched]): their per-call cost is below single-measurement
+   jitter, and reported figures are divided back to per-event values.
+   Finally, a group containing a *negative* r² is re-measured (up to
+   three attempts): a negative fit means an external event (scheduler
+   preemption, major-GC slice) landed in a high-leverage sample, i.e. the
+   trial was contaminated, not that the workload is non-linear.  Every
+   reported r-square must therefore come out >= 0 on an otherwise idle
+   machine; `make perf` diffs the resulting JSON against the committed
+   baseline. *)
 
 open Bechamel
 module Middleware = Rdt_protocols.Middleware
 module Protocol = Rdt_protocols.Protocol
 module Control = Rdt_protocols.Control
+
+(* Batched tests: a driver in the low tens of nanoseconds is smaller than
+   the clock-read jitter of a single measurement, so its regression never
+   stabilizes no matter the quota.  For those drivers one Bechamel run
+   executes [k] calls in a counted loop (still allocation-free) and
+   [run_group] divides every reported per-run figure by [k], so the table
+   and BENCH_micro.json keep per-event semantics.  Batching also smooths
+   amortized drivers whose per-call cost is bimodal (e.g. a checkpoint
+   that triggers a collection sweep every few calls). *)
+let batch_scale : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let make_batched ~name ~k f =
+  if k <= 1 then Test.make ~name (Staged.stage f)
+  else begin
+    Hashtbl.replace batch_scale name (float_of_int k);
+    Test.make ~name
+      (Staged.stage (fun () ->
+           for _ = 1 to k do
+             f ()
+           done))
+  end
 module Rdt_lgc = Rdt_gc.Rdt_lgc
 module Global_gc = Rdt_gc.Global_gc
 module Trace = Rdt_ccp.Trace
@@ -37,26 +96,35 @@ let receive_setup ~n ~with_lgc =
     Rdt_lgc.attach lgc mw
   end;
   Trace.set_recording trace false;
+  (* zero-allocation driver: one reusable message whose control borrows
+     the generator's vector; each call advances the peer's interval so
+     every receive still brings exactly one fresh dependency (the
+     new-causal-info path of Algorithm 2) *)
   let peer_interval = ref 0 in
   let dv = Array.make n 0 in
+  let msg =
+    { Middleware.msg_id = 1; src = 1; control = Control.borrow ~dv ~index:0 }
+  in
   fun () ->
     incr peer_interval;
     dv.(1) <- !peer_interval;
-    let msg =
-      { Middleware.msg_id = !peer_interval; src = 1; control = Control.make ~dv ~index:0 }
-    in
     Middleware.receive mw msg ~now:0.0
 
 let receive_tests =
   List.concat_map
     (fun n ->
+      (* only the ~150 ns n=8 case needs batching; the larger vectors are
+         comfortably above the noise floor on their own *)
+      let k = if n <= 8 then 8 else 1 in
       [
-        Test.make
+        make_batched
           ~name:(Printf.sprintf "receive/fdas/n=%d" n)
-          (Staged.stage (receive_setup ~n ~with_lgc:false));
-        Test.make
+          ~k
+          (receive_setup ~n ~with_lgc:false);
+        make_batched
           ~name:(Printf.sprintf "receive/fdas+lgc/n=%d" n)
-          (Staged.stage (receive_setup ~n ~with_lgc:true));
+          ~k
+          (receive_setup ~n ~with_lgc:true);
       ])
     [ 8; 64; 256 ]
 
@@ -73,12 +141,48 @@ let checkpoint_setup ~n =
   fun () -> Middleware.basic_checkpoint mw ~now:0.0
 
 let checkpoint_tests =
+  (* batched: the per-call cost is bimodal (most checkpoints are cheap,
+     some trigger a collection sweep), so a batch amortizes a full cycle *)
   List.map
     (fun n ->
-      Test.make
+      make_batched
         ~name:(Printf.sprintf "checkpoint+collect/n=%d" n)
-        (Staged.stage (checkpoint_setup ~n)))
+        ~k:16 (checkpoint_setup ~n))
     [ 8; 64; 256 ]
+
+(* Engine throughput: the simulator's own dispatch loop, isolated from
+   any protocol work.  [queue-churn] is the pooled event queue alone
+   (schedule + fire of a pre-existing value: zero allocations once the
+   pool is warm); [send-deliver] adds the network model and the engine's
+   Deliver dispatch (the per-message Deliver cell is the only
+   allocation). *)
+module Event_queue = Rdt_sim.Event_queue
+module Engine = Rdt_sim.Engine
+module Network = Rdt_sim.Network
+
+let queue_churn_setup () =
+  let q = Event_queue.create () in
+  let now = ref 0.0 in
+  (* warm the pool so the steady state recycles instead of allocating *)
+  Event_queue.add_unit q ~time:0.0 0;
+  ignore (Event_queue.pop q);
+  fun () ->
+    now := !now +. 1.0;
+    Event_queue.add_unit q ~time:!now 0;
+    ignore (Event_queue.pop q)
+
+let send_deliver_setup () =
+  let e = Engine.create ~n:2 ~seed:42 ~net:Network.default () in
+  Engine.set_receiver e 1 (fun ~src:_ _ -> ());
+  fun () ->
+    Engine.send e ~src:0 ~dst:1 0;
+    ignore (Engine.step e)
+
+let engine_tests =
+  [
+    make_batched ~name:"engine/queue-churn" ~k:32 (queue_churn_setup ());
+    make_batched ~name:"engine/send-deliver" ~k:32 (send_deliver_setup ());
+  ]
 
 (* Algorithm 3 on the worst-case state: every process retains n
    checkpoints and the rebuild pins them all again (no elimination), so
@@ -121,9 +225,11 @@ let ablation_tests =
   List.concat_map
     (fun n ->
       [
-        Test.make
+        (* ~15 ns per call: the flagship case for batching *)
+        make_batched
           ~name:(Printf.sprintf "per-event/incremental-ccb/n=%d" n)
-          (Staged.stage (incremental_update_setup ~n));
+          ~k:64
+          (incremental_update_setup ~n);
         Test.make
           ~name:(Printf.sprintf "per-event/theorem2-recompute/n=%d" n)
           (Staged.stage (recompute_setup ~n));
@@ -140,11 +246,12 @@ let recovery_line_tests =
     (fun n ->
       let s = Figures.worst_case ~n in
       let snaps = snapshots_of s in
-      Test.make
+      make_batched
         ~name:(Printf.sprintf "recovery-line/n=%d" n)
-        (Staged.stage (fun () ->
-             ignore
-               (Rdt_recovery.Recovery_line.from_snapshots snaps ~faulty:[ 0 ]))))
+        ~k:(if n <= 8 then 8 else 1)
+        (fun () ->
+          ignore
+            (Rdt_recovery.Recovery_line.from_snapshots snaps ~faulty:[ 0 ])))
     [ 8; 32; 64 ]
 
 let theorem1_tests =
@@ -153,10 +260,10 @@ let theorem1_tests =
       let s = Figures.worst_case ~n in
       let snaps = snapshots_of s in
       let li = Global_gc.last_interval_vector snaps in
-      Test.make
+      make_batched
         ~name:(Printf.sprintf "theorem1-retained/n=%d" n)
-        (Staged.stage (fun () ->
-             ignore (Global_gc.theorem1_retained snaps ~me:0 ~li))))
+        ~k:(if n <= 8 then 8 else 1)
+        (fun () -> ignore (Global_gc.theorem1_retained snaps ~me:0 ~li)))
     [ 8; 32; 64 ]
 
 let zigzag_tests =
@@ -205,16 +312,17 @@ let ccp_incremental_test =
   let trace = build_big_trace () in
   let incr_view = Rdt_ccp.Ccp.Incremental.of_trace trace in
   let i = ref 0 in
-  Test.make
+  make_batched
     ~name:
       (Printf.sprintf "ccp/incremental-append/%dk-events"
          (big_trace_events / 1000))
-    (Staged.stage (fun () ->
-         let n = Trace.n trace in
-         let src = !i mod n in
-         Rdt_ccp.Trace.message trace ~src ~dst:((src + 1) mod n);
-         incr i;
-         ignore (Rdt_ccp.Ccp.Incremental.ccp incr_view)))
+    ~k:8
+    (fun () ->
+      let n = Trace.n trace in
+      let src = !i mod n in
+      Rdt_ccp.Trace.message trace ~src ~dst:((src + 1) mod n);
+      incr i;
+      ignore (Rdt_ccp.Ccp.Incremental.ccp incr_view))
 
 let ccp_tests = [ ccp_rebuild_test; ccp_incremental_test ]
 
@@ -255,14 +363,18 @@ let store_append_setup ~config =
     incr i
 
 let store_append_tests =
+  (* fsync=never and fsync=every64 pay their durability cost in lumps (a
+     kernel writeback or an fsync every 64 records, plus an auto-compaction
+     every few dozen eliminations), so one run covers a full 64-append
+     cycle and the figures are divided back per append.  fsync=always pays
+     the same cost on every call and needs no batching. *)
   [
-    Test.make ~name:"store/append+collect/fsync=never"
-      (Staged.stage
-         (store_append_setup
-            ~config:
-              { Log_store.default_config with Log_store.fsync = Log_store.Never }));
-    Test.make ~name:"store/append+collect/fsync=every64"
-      (Staged.stage (store_append_setup ~config:Log_store.default_config));
+    make_batched ~name:"store/append+collect/fsync=never" ~k:64
+      (store_append_setup
+         ~config:
+           { Log_store.default_config with Log_store.fsync = Log_store.Never });
+    make_batched ~name:"store/append+collect/fsync=every64" ~k:64
+      (store_append_setup ~config:Log_store.default_config);
     Test.make ~name:"store/append+collect/fsync=always,batch=1"
       (Staged.stage
          (store_append_setup
@@ -321,37 +433,123 @@ let store_tests =
         (Staged.stage (store_recovery_scan_setup ~records:512));
     ]
 
-let run_group ~quota tests =
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+type row = {
+  name : string;
+  ns : float option;  (** monotonic ns per run (OLS slope) *)
+  r2 : float option;  (** goodness of fit of the time regression *)
+  minor_words : float option;  (** minor-heap words allocated per run *)
+  promoted : float option;  (** words promoted to the major heap per run *)
+}
+
+(* Measurement class per cost scale; see the methodology note above.  The
+   slope of a sub-microsecond benchmark is dominated by timer quantization
+   and scheduling noise unless every sample aggregates enough runs to sit
+   well above the noise floor (hence [start]) and the regression still
+   sees a wide span of run counts within the quota (hence the faster
+   geometric growth). *)
+let cfg_of_speed speed =
+  let limit, quota, start, sampling =
+    match speed with
+    | `Fast -> (2000, 3.0, 100, `Linear 20)
+    | `Medium -> (1000, 1.5, 10, `Linear 10)
+    | `Slow -> (2000, 0.75, 1, `Geometric 1.01)
+    (* I/O-bound groups: per-run costs are milliseconds once a full
+       durability cycle is batched in, so a wide run-count span needs a
+       long quota *)
+    | `SlowIO -> (2000, 3.0, 1, `Geometric 1.01)
   in
-  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" tests) in
+  Benchmark.cfg ~limit ~quota:(Time.second quota) ~start ~sampling ~kde:None
+    ()
+
+let measure_group ~speed tests =
+  let clock = Toolkit.Instance.monotonic_clock in
+  let minor = Toolkit.Instance.minor_allocated in
+  let promoted = Toolkit.Instance.promoted in
+  let raw =
+    Benchmark.all (cfg_of_speed speed)
+      [ clock; minor; promoted ]
+      (Test.make_grouped ~name:"" tests)
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  Analyze.all ols instance raw
-
-(* (name, ns-per-run estimate, r^2) rows in name order *)
-let collect_rows results =
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | None -> None
+    | Some ols -> (
+      match Analyze.OLS.estimates ols with
+      | Some (e :: _) -> Some e
+      | Some [] | None -> None)
+  in
+  let times = Analyze.all ols clock raw in
+  let minors = Analyze.all ols minor raw in
+  let promotions = Analyze.all ols promoted raw in
   let rows =
     Hashtbl.fold
       (fun name ols acc ->
-        (* tests are grouped under an anonymous root; drop its "/" *)
-        let name =
+        let clean =
+          (* tests are grouped under an anonymous root; drop its "/" *)
           if String.length name > 0 && name.[0] = '/' then
             String.sub name 1 (String.length name - 1)
           else name
         in
-        let est =
-          match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> Some e
-          | Some [] | None -> None
+        let scale =
+          match Hashtbl.find_opt batch_scale clean with
+          | Some k -> k
+          | None -> 1.0
         in
-        (name, est, Analyze.OLS.r_square ols) :: acc)
-      results []
+        let per_event = Option.map (fun v -> v /. scale) in
+        {
+          name = clean;
+          ns = per_event (estimate times name);
+          r2 = Analyze.OLS.r_square ols;
+          minor_words = per_event (estimate minors name);
+          promoted = per_event (estimate promotions name);
+        }
+        :: acc)
+      times []
   in
   List.sort compare rows
+
+(* A negative r² means the linear fit explained less variance than the
+   sample mean: the measurement was contaminated by an external event (a
+   scheduler preemption or major-GC slice landing in a high-leverage
+   sample), not that the workload is non-linear in the run count.  Such a
+   group is re-measured, like re-running a contaminated trial; after
+   [max_attempts] the attempt with the fewest contaminated rows is kept
+   so a persistently noisy machine still terminates with data. *)
+let run_group ~speed tests =
+  let max_attempts = 3 in
+  let contaminated rows =
+    List.length
+      (List.filter (fun r -> match r.r2 with Some v -> v < 0.0 | None -> true)
+         rows)
+  in
+  let rec go attempt best =
+    let rows = measure_group ~speed tests in
+    let bad = contaminated rows in
+    let best =
+      match best with
+      | Some (_, best_bad) when best_bad <= bad -> best
+      | _ -> Some (rows, bad)
+    in
+    if bad = 0 || attempt >= max_attempts then (
+      (match best with
+      | Some (_, n) when n > 0 ->
+        Printf.printf
+          "  (%d benchmark(s) still noise-contaminated after %d attempts)\n%!"
+          n attempt
+      | _ -> ());
+      match best with Some (rows, _) -> rows | None -> rows)
+    else (
+      Printf.printf
+        "  (re-measuring group: %d noise-contaminated benchmark(s), attempt \
+         %d/%d)\n\
+         %!"
+        bad (attempt + 1) max_attempts;
+      go (attempt + 1) best)
+  in
+  go 1 None
 
 let print_rows rows =
   let t =
@@ -361,6 +559,8 @@ let print_rows rows =
           ("benchmark", Table.Left);
           ("time/op", Table.Right);
           ("r^2", Table.Right);
+          ("words/op", Table.Right);
+          ("promoted/op", Table.Right);
         ]
   in
   let fmt_ns ns =
@@ -368,14 +568,18 @@ let print_rows rows =
     else if ns >= 1_000.0 then Printf.sprintf "%.2f us" (ns /. 1e3)
     else Printf.sprintf "%.1f ns" ns
   in
+  let fmt_opt f = function Some v -> f v | None -> "-" in
   List.iter
-    (fun (name, est, r2) ->
-      let estimate = match est with Some e -> fmt_ns e | None -> "-" in
-      let r2 =
-        match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
-      in
-      let name = if name = "" then "(root)" else name in
-      Table.add_row t [ name; estimate; r2 ])
+    (fun row ->
+      let name = if row.name = "" then "(root)" else row.name in
+      Table.add_row t
+        [
+          name;
+          fmt_opt fmt_ns row.ns;
+          fmt_opt (Printf.sprintf "%.4f") row.r2;
+          fmt_opt (Printf.sprintf "%.1f") row.minor_words;
+          fmt_opt (Printf.sprintf "%.1f") row.promoted;
+        ])
     rows;
   Table.print t
 
@@ -403,7 +607,7 @@ let json_float = function
 let write_json ~mode ~wall_time_s ~rows ~speedup =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"rdtgc-bench-micro/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"rdtgc-bench-micro/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Domain.recommended_domain_count ()));
@@ -413,11 +617,14 @@ let write_json ~mode ~wall_time_s ~rows ~speedup =
     (Printf.sprintf "  \"wall_time_s\": %.3f,\n" wall_time_s);
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
-    (fun i (name, est, r2) ->
+    (fun i row ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s }%s\n"
-           (json_escape name) (json_float est) (json_float r2)
+           "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s, \
+            \"allocs_per_run\": %s, \"promoted_per_run\": %s }%s\n"
+           (json_escape row.name) (json_float row.ns) (json_float row.r2)
+           (json_float row.minor_words)
+           (json_float row.promoted)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
@@ -433,31 +640,48 @@ let write_json ~mode ~wall_time_s ~rows ~speedup =
 
 let find_ns rows prefix =
   List.find_map
-    (fun (name, est, _) ->
+    (fun row ->
       if
-        String.length name >= String.length prefix
-        && String.sub name 0 (String.length prefix) = prefix
-      then est
+        String.length row.name >= String.length prefix
+        && String.sub row.name 0 (String.length prefix) = prefix
+      then row.ns
       else None)
     rows
 
 let micro_groups =
   [
-    ("receive handler (plain FDAS vs merged FDAS+RDT-LGC)", receive_tests);
-    ("checkpoint event with collection", checkpoint_tests);
+    ( "receive handler (plain FDAS vs merged FDAS+RDT-LGC)",
+      `Fast,
+      receive_tests );
+    ("checkpoint event with collection", `Fast, checkpoint_tests);
+    ("engine throughput (pooled event queue, dispatch)", `Fast, engine_tests);
     ( "ablation: per-event GC cost, incremental CCB vs full recompute",
+      `Fast,
       ablation_tests );
-    ("Algorithm 3 rollback rebuild", rollback_tests);
-    ("recovery line from stored DVs", recovery_line_tests);
-    ("Theorem 1 retained-set computation", theorem1_tests);
-    ("zigzag reachability (analysis substrate)", zigzag_tests);
-    ("incremental CCP engine vs full rebuild", ccp_tests);
-    ("durable log store: append path, compaction, recovery scan", store_tests);
+    ("Algorithm 3 rollback rebuild", `Medium, rollback_tests);
+    ("recovery line from stored DVs", `Fast, recovery_line_tests);
+    ("Theorem 1 retained-set computation", `Fast, theorem1_tests);
+    ("zigzag reachability (analysis substrate)", `Medium, zigzag_tests);
+    (* per-event append is sub-microsecond, the from-scratch rebuild is
+       milliseconds — mixed scales must not share a measurement class.
+       The rebuild must also run *before* the append group: the append
+       driver grows its trace for the whole quota, and the resulting live
+       heap would otherwise slow every later allocating benchmark through
+       major-GC marking.  The append group runs last for the same
+       reason. *)
+    ("full CCP rebuild baseline", `Slow, [ ccp_rebuild_test ]);
+    ( "durable log store: append path, compaction, recovery scan",
+      `SlowIO,
+      store_tests );
+    ( "incremental CCP engine (per-event append)",
+      `Fast,
+      [ ccp_incremental_test ] );
   ]
 
 (* [smoke] is the CI-oriented subset: just the incremental-CCP criterion
    with a small quota, a few seconds end to end. *)
-let smoke_groups = [ ("incremental CCP engine vs full rebuild", ccp_tests) ]
+let smoke_groups =
+  [ ("incremental CCP engine vs full rebuild", `Slow, ccp_tests) ]
 
 let run ~mode () =
   Exp_support.section "EXP-E4: micro-benchmarks (Section 4.5 complexity claims)"
@@ -465,19 +689,21 @@ let run ~mode () =
      implementation adds no asymptotic cost to the checkpointing protocol\n\
      (receive stays O(n)), Algorithm 2 events are O(1) amortized beyond\n\
      the DV scan, and Algorithm 3 runs in O(n log n) with n checkpoints\n\
-     stored.  The last group measures the harness's own analysis engine:\n\
-     appending to a live CCP view vs replaying the whole trace.";
+     stored.  words/op and promoted/op are the per-event allocation\n\
+     telemetry: the receive and engine hot paths must sit at ~0 words in\n\
+     steady state, and a checkpoint must cost exactly its store-boundary\n\
+     snapshot (DESIGN.md \xc2\xa710).  The CCP group measures the harness's\n\
+     own analysis engine: appending to a live view vs replaying the\n\
+     whole trace.";
   let wall0 = Unix.gettimeofday () in
-  let groups, quota =
-    match mode with
-    | `Smoke -> (smoke_groups, 0.25)
-    | `Micro -> (micro_groups, 0.75)
+  let groups =
+    match mode with `Smoke -> smoke_groups | `Micro -> micro_groups
   in
   let rows =
     List.concat_map
-      (fun (name, tests) ->
+      (fun (name, speed, tests) ->
         Exp_support.subsection name;
-        let rows = collect_rows (run_group ~quota tests) in
+        let rows = run_group ~speed tests in
         print_rows rows;
         rows)
       groups

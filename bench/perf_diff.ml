@@ -1,0 +1,139 @@
+(* Perf-regression diff over two BENCH_micro.json files (the committed
+   baseline vs a fresh run) — the `make perf` backend.
+
+   The reader is deliberately specialized to the flat one-benchmark-per-
+   line layout Micro.write_json emits (both rdtgc-bench-micro/1 and /2;
+   schema 1 files simply have no allocation fields): this keeps the
+   harness free of a JSON dependency while staying robust to field
+   reordering within a line.
+
+   Policy (non-fatal by design — the exit code is always 0 so CI can run
+   it on every push without flaking on shared-runner noise):
+   - WARN when ns_per_run regresses by more than 20%;
+   - WARN on any steady-state allocation growth beyond jitter
+     (allocs_per_run more than [alloc_jitter] words above baseline);
+   - improvements are reported as INFO lines so the trajectory is
+     visible in the CI log. *)
+
+let ns_regression_threshold = 0.20
+let alloc_jitter = 8.0 (* words/run; OLS slope noise on a quiet run *)
+
+type bench = {
+  name : string;
+  ns : float option;
+  allocs : float option;
+}
+
+(* --- minimal reader for our own writer's output ------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* [string_field line {|"name"|}] / [number_field line {|"ns_per_run"|}]:
+   pull a field out of one benchmark line; numbers may be [null]. *)
+let after_key line key =
+  let rec find i =
+    if i + String.length key > String.length line then None
+    else if String.sub line i (String.length key) = key then
+      (* skip past the key, the colon and any blanks *)
+      let j = ref (i + String.length key) in
+      while
+        !j < String.length line && (line.[!j] = ':' || line.[!j] = ' ')
+      do
+        incr j
+      done;
+      Some !j
+    else find (i + 1)
+  in
+  find 0
+
+let string_field line key =
+  match after_key line key with
+  | Some j when j < String.length line && line.[j] = '"' -> (
+    match String.index_from_opt line (j + 1) '"' with
+    | Some k -> Some (String.sub line (j + 1) (k - j - 1))
+    | None -> None)
+  | Some _ | None -> None
+
+let number_field line key =
+  match after_key line key with
+  | None -> None
+  | Some j ->
+    let k = ref j in
+    while
+      !k < String.length line
+      && (match line.[!k] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr k
+    done;
+    if !k = j then None (* null or malformed *)
+    else float_of_string_opt (String.sub line j (!k - j))
+
+let parse path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter_map (fun line ->
+         match string_field line "\"name\"" with
+         | Some name ->
+           Some
+             {
+               name;
+               ns = number_field line "\"ns_per_run\"";
+               allocs = number_field line "\"allocs_per_run\"";
+             }
+         | None -> None)
+
+(* --- comparison -------------------------------------------------------- *)
+
+let pct_change ~from ~to_ = (to_ -. from) /. from *. 100.0
+
+let run ~baseline ~current =
+  let base = parse baseline and cur = parse current in
+  if base = [] then
+    Printf.printf "perf-diff: no benchmarks in baseline %s (nothing to do)\n"
+      baseline;
+  let warnings = ref 0 in
+  let missing = ref 0 in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> c.name = b.name) cur with
+      | None -> incr missing
+      | Some c ->
+        (match (b.ns, c.ns) with
+        | Some bn, Some cn when bn > 0.0 ->
+          let change = pct_change ~from:bn ~to_:cn in
+          if change > ns_regression_threshold *. 100.0 then begin
+            incr warnings;
+            Printf.printf
+              "WARN %-42s ns/run %+.1f%% (%.1f -> %.1f)\n" b.name change bn cn
+          end
+          else if change < -.(ns_regression_threshold *. 100.0) then
+            Printf.printf
+              "INFO %-42s ns/run %+.1f%% (%.1f -> %.1f)\n" b.name change bn cn
+        | _ -> ());
+        (match (b.allocs, c.allocs) with
+        | Some ba, Some ca when ca > ba +. alloc_jitter ->
+          incr warnings;
+          Printf.printf
+            "WARN %-42s allocation growth: %.1f -> %.1f words/run\n" b.name ba
+            ca
+        | _ -> ()))
+    base;
+  if !missing > 0 then
+    Printf.printf
+      "perf-diff: %d baseline benchmark(s) absent from the current run\n"
+      !missing;
+  if !warnings = 0 then
+    Printf.printf "perf-diff: no regressions vs %s\n" baseline
+  else
+    Printf.printf
+      "perf-diff: %d warning(s) vs %s (>%.0f%% ns regression or >%.0f \
+       words/run allocation growth)\n"
+      !warnings baseline
+      (ns_regression_threshold *. 100.0)
+      alloc_jitter

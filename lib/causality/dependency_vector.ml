@@ -10,12 +10,45 @@ let get t i = t.(i)
 let set t i v = t.(i) <- v
 let increment t i = t.(i) <- t.(i) + 1
 
-let merge_from_message_iter t m ~f =
-  if Array.length t <> Array.length m then
-    invalid_arg "Dependency_vector.merge_from_message: size mismatch";
+(* The in-place operations below are the hot path of the middleware: one
+   arity check at the entry point, then [Array.unsafe_get]/[unsafe_set] in
+   the inner loop.  Every loop bound is the checked common length, so the
+   unsafe accesses cannot go out of range. *)
+
+let check_arity ~op a b =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Dependency_vector." ^ op ^ ": size mismatch")
+
+let blit_into ~src ~dst =
+  check_arity ~op:"blit_into" src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let max_into ~src ~dst =
+  check_arity ~op:"max_into" src dst;
+  for j = 0 to Array.length src - 1 do
+    let s = Array.unsafe_get src j in
+    if s > Array.unsafe_get dst j then Array.unsafe_set dst j s
+  done
+
+let compare_le a b =
+  check_arity ~op:"compare_le" a b;
+  let rec loop j =
+    j >= Array.length a
+    || (Array.unsafe_get a j <= Array.unsafe_get b j && loop (j + 1))
+  in
+  loop 0
+
+let iteri t ~f =
   for j = 0 to Array.length t - 1 do
-    if m.(j) > t.(j) then begin
-      t.(j) <- m.(j);
+    f j (Array.unsafe_get t j)
+  done
+
+let merge_from_message_iter t m ~f =
+  check_arity ~op:"merge_from_message" t m;
+  for j = 0 to Array.length t - 1 do
+    let mj = Array.unsafe_get m j in
+    if mj > Array.unsafe_get t j then begin
+      Array.unsafe_set t j mj;
       f j
     end
   done
@@ -26,10 +59,9 @@ let merge_from_message t m =
   List.rev !changed
 
 let newer_entries_iter ~local ~incoming ~f =
-  if Array.length local <> Array.length incoming then
-    invalid_arg "Dependency_vector.newer_entries: size mismatch";
+  check_arity ~op:"newer_entries" local incoming;
   for j = 0 to Array.length local - 1 do
-    if incoming.(j) > local.(j) then f j
+    if Array.unsafe_get incoming j > Array.unsafe_get local j then f j
   done
 
 let newer_entries ~local ~incoming =
@@ -38,10 +70,10 @@ let newer_entries ~local ~incoming =
   List.rev !changed
 
 let has_newer_entries ~local ~incoming =
-  if Array.length local <> Array.length incoming then
-    invalid_arg "Dependency_vector.newer_entries: size mismatch";
+  check_arity ~op:"newer_entries" local incoming;
   let rec loop j =
-    j < Array.length local && (incoming.(j) > local.(j) || loop (j + 1))
+    j < Array.length local
+    && (Array.unsafe_get incoming j > Array.unsafe_get local j || loop (j + 1))
   in
   loop 0
 
@@ -52,6 +84,8 @@ let checkpoint_precedes ~index ~of_ dv_beta = index < dv_beta.(of_)
 let equal a b = a = b
 let to_array = Array.copy
 let of_array = Array.copy
+let view t = t
+let of_view a = a
 
 let pp ppf t =
   Format.fprintf ppf "(%a)"

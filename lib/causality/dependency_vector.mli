@@ -29,6 +29,29 @@ val increment : t -> int -> unit
 (** [increment dv i]: the step performed immediately after process [i]
     takes a checkpoint. *)
 
+(** {2 In-place, allocation-free operations}
+
+    The middleware's steady state must not allocate (DESIGN.md §10): these
+    variants mutate a caller-owned destination instead of returning fresh
+    arrays.  Each performs one arity check at the entry point and then runs
+    an unchecked inner loop. *)
+
+val blit_into : src:t -> dst:t -> unit
+(** [blit_into ~src ~dst] overwrites [dst] with [src] (in-place
+    {!copy}).  @raise Invalid_argument on size mismatch. *)
+
+val max_into : src:t -> dst:t -> unit
+(** [max_into ~src ~dst]: pointwise [dst.(j) <- max dst.(j) src.(j)] — the
+    Equation-2 merge without the change notifications of
+    {!merge_from_message_iter}. *)
+
+val compare_le : t -> t -> bool
+(** [compare_le a b]: componentwise [a.(j) <= b.(j)] with early exit. *)
+
+val iteri : t -> f:(int -> int -> unit) -> unit
+(** [iteri t ~f] calls [f j t.(j)] for each entry in ascending order
+    without allocating. *)
+
 val merge_from_message : t -> int array -> int list
 (** [merge_from_message dv m_dv] applies the receive rule
     [dv.(j) <- max dv.(j) m_dv.(j)] and returns the (sorted) list of entries
@@ -65,6 +88,23 @@ val checkpoint_precedes : index:int -> of_:int -> t -> bool
     executions. *)
 
 val equal : t -> t -> bool
+
 val to_array : t -> int array
+(** Fresh owned copy of the contents. *)
+
 val of_array : int array -> t
+(** Fresh vector copied from [a]; the caller keeps its array. *)
+
+val view : t -> int array
+(** Borrowed read-only view — no copy.  The returned array aliases the
+    live vector: callers must not mutate it and must not retain it across
+    a subsequent mutation of the vector (ownership rules in DESIGN.md
+    §10).  Use {!to_array} when the result must survive. *)
+
+val of_view : int array -> t
+(** Wrap a caller-owned array as a vector without copying — the dual of
+    {!view}, for running the in-place operations above against an array
+    that arrived from a message or a stored checkpoint.  The same aliasing
+    caveats apply. *)
+
 val pp : Format.formatter -> t -> unit

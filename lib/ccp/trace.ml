@@ -43,9 +43,16 @@ let record t ~pid kind =
     List.iter (fun f -> f ev) t.on_event
   end
 
-let record_checkpoint t ~pid ~index = record t ~pid (Checkpoint { index })
-let record_send t ~pid ~msg_id ~dst = record t ~pid (Send { msg_id; dst })
-let record_receive t ~pid ~msg_id ~src = record t ~pid (Receive { msg_id; src })
+(* the [recording] test is replicated here so a muted trace (benchmarks,
+   long soak runs) does not even allocate the [kind] constructor *)
+let record_checkpoint t ~pid ~index =
+  if t.recording then record t ~pid (Checkpoint { index })
+
+let record_send t ~pid ~msg_id ~dst =
+  if t.recording then record t ~pid (Send { msg_id; dst })
+
+let record_receive t ~pid ~msg_id ~src =
+  if t.recording then record t ~pid (Receive { msg_id; src })
 
 let fresh_msg_id t =
   let id = t.next_msg_id in

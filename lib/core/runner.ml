@@ -203,8 +203,9 @@ let lazy_local_collect t pid =
   let mw = t.middlewares.(pid) in
   let store = Middleware.store mw in
   let entries = Array.of_list (Stable_store.retained store) in
+  (* borrowed: [theorem2_collectable] only reads it during the call *)
   let live_dv =
-    Rdt_causality.Dependency_vector.to_array (Middleware.dv mw)
+    Rdt_causality.Dependency_vector.view (Middleware.dv mw)
   in
   List.iter
     (fun index -> Stable_store.eliminate store ~index)

@@ -61,6 +61,7 @@ let create ~n ~me =
 let me t = t.me
 let n t = t.n
 let dv t = Array.copy t.dv
+let dv_view t = t.dv
 let uc_view t = Array.map (Option.map (fun ccb -> ccb.ind)) t.uc
 let store t = t.store
 
@@ -75,10 +76,16 @@ let before_send t =
 let receive t (m : Control.t) ~now =
   (* FDAS freezes the dependency vector once a send occurred in the
      interval; the first entry the message would change triggers the
-     forced checkpoint, stored before any update *)
+     forced checkpoint, stored before any update.  The arity check up
+     front licenses the unchecked accesses in the per-entry loop — this
+     is the per-message O(n) scan the paper's overhead argument is about,
+     and it must not allocate. *)
+  if Array.length m.Control.dv <> t.n then
+    invalid_arg "Merged_fdas.receive: control arity mismatch";
   let forced = ref t.sent in
   for j = 0 to t.n - 1 do
-    if m.Control.dv.(j) > t.dv.(j) then begin
+    let mj = Array.unsafe_get m.Control.dv j in
+    if mj > Array.unsafe_get t.dv j then begin
       if !forced then begin
         take_checkpoint t ~now;
         t.forced_count <- t.forced_count + 1;
@@ -86,7 +93,7 @@ let receive t (m : Control.t) ~now =
       end;
       release t j;
       link t j;
-      t.dv.(j) <- m.Control.dv.(j)
+      Array.unsafe_set t.dv j mj
     end
   done
 

@@ -62,7 +62,8 @@ let on_rollback t ~li =
     Array.iter (fun c -> if c.ind = index then found := Some c) ccbs;
     match !found with Some c -> c | None -> assert false
   in
-  let live_dv = Dependency_vector.to_array t.dv in
+  (* borrowed: [retained_for] only reads the live vector during the call *)
+  let live_dv = Dependency_vector.view t.dv in
   for f = 0 to t.n - 1 do
     (* Algorithm 3 line 9 *)
     match Global_gc.retained_for ~entries ~live_dv ~f ~li_f:li.(f) with

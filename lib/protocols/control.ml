@@ -1,6 +1,7 @@
 type t = { dv : int array; index : int }
 
 let make ~dv ~index = { dv = Array.copy dv; index }
+let borrow ~dv ~index = { dv; index }
 
 let size_words t = Array.length t.dv + 1
 

@@ -13,6 +13,14 @@ type t = {
 }
 
 val make : dv:int array -> index:int -> t
+(** Owning constructor: copies [dv], so the control survives any later
+    mutation of the sender's vector — what a message in flight needs. *)
+
+val borrow : dv:int array -> index:int -> t
+(** No-copy constructor for controls that are consumed synchronously
+    (receiver runs before the caller mutates [dv] again) — the
+    micro-benchmarks drive the receive path with a single reused control
+    this way.  Never use it for a message that stays in flight. *)
 
 val size_words : t -> int
 (** Control size in machine words ([n + 1]); used for overhead metrics. *)

@@ -44,11 +44,15 @@ let evolve_state state tag =
 
 let take_checkpoint t ~kind ~now =
   let index = Dependency_vector.get t.dv t.me in
-  Stable_store.store t.store ~index
-    ~dv:(Dependency_vector.to_array t.dv)
-    ~now ~size_bytes:t.ckpt_bytes ~payload:t.app_state ();
-  Rdt_storage.Dv_archive.record t.archive ~index
-    ~dv:(Dependency_vector.to_array t.dv);
+  (* one snapshot copy at the store boundary (DESIGN.md §10): the stored
+     entry owns it, the archive shares the same immutable array *)
+  let entry =
+    Stable_store.store_from t.store ~index
+      ~dv:(Dependency_vector.view t.dv)
+      ~now ~size_bytes:t.ckpt_bytes ~payload:t.app_state ()
+  in
+  Rdt_storage.Dv_archive.record_shared t.archive ~index
+    ~dv:entry.Stable_store.dv;
   Trace.record_checkpoint t.trace ~pid:t.me ~index;
   t.proto.Protocol.note_checkpoint ();
   t.hooks.on_checkpoint_stored index;
@@ -104,9 +108,10 @@ let basic_checkpoint t ~now =
 
 let prepare_send t ~dst ~now =
   t.proto.Protocol.note_send ();
+  (* [Control.make] performs the single message-boundary copy itself *)
   let control =
     Control.make
-      ~dv:(Dependency_vector.to_array t.dv)
+      ~dv:(Dependency_vector.view t.dv)
       ~index:(t.proto.Protocol.control_index ())
   in
   let msg_id = Trace.fresh_msg_id t.trace in
@@ -116,7 +121,8 @@ let prepare_send t ~dst ~now =
   { msg_id; src = t.me; control }
 
 let receive t msg ~now =
-  let local_dv = Dependency_vector.to_array t.dv in
+  (* borrowed view: [need_forced] only reads it during the call *)
+  let local_dv = Dependency_vector.view t.dv in
   if t.proto.Protocol.need_forced ~local_dv ~incoming:msg.control then
     take_checkpoint t ~kind:Forced ~now;
   Trace.record_receive t.trace ~pid:t.me ~msg_id:msg.msg_id ~src:msg.src;
@@ -134,9 +140,9 @@ let rollback t ~to_index ~li =
     ignore (Stable_store.truncate_above t.store ~index:to_index);
     Rdt_storage.Dv_archive.truncate_above t.archive ~index:to_index;
     (* Algorithm 3 lines 4-6: recreate DV from the restored checkpoint *)
-    for j = 0 to t.n - 1 do
-      Dependency_vector.set t.dv j entry.Stable_store.dv.(j)
-    done;
+    Dependency_vector.blit_into
+      ~src:(Dependency_vector.of_view entry.Stable_store.dv)
+      ~dst:t.dv;
     Dependency_vector.increment t.dv t.me;
     (* the volatile application state is replaced by the checkpointed one *)
     t.app_state <- entry.Stable_store.payload);

@@ -70,9 +70,10 @@ let send t ?(reliable = false) ~src ~dst msg =
   match delivery with
   | None -> t.stats.lost <- t.stats.lost + 1
   | Some at ->
-    ignore
-      (Event_queue.add t.queue ~time:at
-         (Deliver { src; dst; payload = msg; epoch = t.epoch }))
+    (* deliveries are never cancelled individually (flush works by epoch),
+       so skip the handle *)
+    Event_queue.add_unit t.queue ~time:at
+      (Deliver { src; dst; payload = msg; epoch = t.epoch })
 
 let schedule t ?owner ~at f =
   if at < t.clock then invalid_arg "Engine.schedule: time in the past";

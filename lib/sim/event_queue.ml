@@ -1,24 +1,44 @@
 (* Binary min-heap over (time, seq).  Cancellation is lazy: a cancelled
    entry stays in the heap with its [live] flag cleared and is dropped when
-   popped, which keeps all operations O(log n) amortized. *)
+   popped, which keeps all operations O(log n) amortized.
+
+   Entries are pooled: when an entry leaves the heap (fired or found
+   cancelled) it goes onto a free stack and the next [add] recycles it
+   instead of allocating, so a steady-state schedule/fire loop performs no
+   minor-heap allocation at all ([add_unit]; [add] itself allocates only
+   the handle box).  Handles are generation-stamped with the entry's
+   sequence number, so a handle that outlives its entry — fired, recycled
+   and reused for a later event — can never cancel the wrong event. *)
 
 type 'a entry = {
-  time : float;
-  seq : int;
-  value : 'a;
+  mutable time : float;
+  mutable seq : int;
+  mutable value : 'a;
   mutable live : bool;
 }
 
-type handle = H : 'a entry -> handle
+type handle = H : 'a entry * int -> handle
 
 type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
   mutable live_count : int;
+  (* free stack of recycled entries; a pooled entry keeps its last [value]
+     until reuse, so the pool retains at most [pool_size] stale values *)
+  mutable free : 'a entry array;
+  mutable free_size : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0; live_count = 0 }
+let create () =
+  {
+    data = [||];
+    size = 0;
+    next_seq = 0;
+    live_count = 0;
+    free = [||];
+    free_size = 0;
+  }
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -55,18 +75,47 @@ let grow t entry =
     t.data <- data
   end
 
-let add t ~time value =
-  let entry = { time; seq = t.next_seq; value; live = true } in
+let recycle t entry =
+  entry.live <- false;
+  if t.free_size = Array.length t.free then begin
+    let free = Array.make (max 16 (2 * t.free_size)) entry in
+    Array.blit t.free 0 free 0 t.free_size;
+    t.free <- free
+  end;
+  t.free.(t.free_size) <- entry;
+  t.free_size <- t.free_size + 1
+
+let add_entry t ~time value =
+  let entry =
+    if t.free_size > 0 then begin
+      t.free_size <- t.free_size - 1;
+      let entry = t.free.(t.free_size) in
+      entry.time <- time;
+      entry.seq <- t.next_seq;
+      entry.value <- value;
+      entry.live <- true;
+      entry
+    end
+    else { time; seq = t.next_seq; value; live = true }
+  in
   t.next_seq <- t.next_seq + 1;
   grow t entry;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   t.live_count <- t.live_count + 1;
   sift_up t (t.size - 1);
-  H entry
+  entry
 
-let cancel t (H entry) =
-  if entry.live then begin
+let add t ~time value =
+  let entry = add_entry t ~time value in
+  H (entry, entry.seq)
+
+let add_unit t ~time value = ignore (add_entry t ~time value)
+
+let cancel t (H (entry, seq)) =
+  (* the seq stamp rejects handles whose entry was recycled for a newer
+     event; a merely-popped (not yet reused) entry is caught by [live] *)
+  if entry.live && entry.seq = seq then begin
     entry.live <- false;
     t.live_count <- t.live_count - 1
   end
@@ -89,9 +138,14 @@ let rec pop t =
   | Some entry ->
     if entry.live then begin
       t.live_count <- t.live_count - 1;
-      Some (entry.time, entry.value)
+      let result = Some (entry.time, entry.value) in
+      recycle t entry;
+      result
     end
-    else pop t
+    else begin
+      recycle t entry;
+      pop t
+    end
 
 let rec peek_time t =
   if t.size = 0 then None
@@ -99,7 +153,7 @@ let rec peek_time t =
     let top = t.data.(0) in
     if top.live then Some top.time
     else begin
-      ignore (pop_entry t);
+      (match pop_entry t with Some e -> recycle t e | None -> ());
       peek_time t
     end
   end
@@ -107,3 +161,5 @@ let rec peek_time t =
 let is_empty t = t.live_count = 0
 
 let length t = t.live_count
+
+let pool_size t = t.free_size

@@ -3,7 +3,14 @@
     Events are ordered by timestamp; ties are broken by a monotonically
     increasing sequence number assigned at insertion, so the execution order
     of simultaneous events is deterministic (insertion order).  Entries can
-    be cancelled lazily via the handle returned by {!add}. *)
+    be cancelled lazily via the handle returned by {!add}.
+
+    Heap entries are recycled through an internal free list: a steady-state
+    schedule/fire loop performs no allocation beyond the handle box, and
+    none at all through {!add_unit}.  A pooled entry retains the last value
+    it carried until it is reused; the pool never shrinks, so a queue that
+    once held [k] events keeps O(k) entries alive — both are deliberate
+    trade-offs for an allocation-free simulator hot path. *)
 
 type 'a t
 
@@ -15,10 +22,17 @@ val create : unit -> 'a t
 val add : 'a t -> time:float -> 'a -> handle
 (** [add q ~time v] schedules [v] at [time] and returns its handle. *)
 
+val add_unit : 'a t -> time:float -> 'a -> unit
+(** {!add} without materializing a handle — the common case (the engine's
+    message deliveries are never cancelled individually).  Allocation-free
+    once the pool is warm. *)
+
 val cancel : 'a t -> handle -> unit
 (** [cancel q h] marks the entry as cancelled; it will be skipped when it
     reaches the head of the queue.  Cancelling twice, or cancelling an
-    already-popped entry, is a no-op. *)
+    already-popped entry, is a no-op — handles are generation-stamped, so
+    this holds even after the underlying pooled entry has been reused for
+    a later event. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the earliest non-cancelled entry, or [None] if the
@@ -32,3 +46,7 @@ val is_empty : 'a t -> bool
 
 val length : 'a t -> int
 (** Number of live (non-cancelled) entries. *)
+
+val pool_size : 'a t -> int
+(** Number of recycled entries currently waiting on the free list —
+    introspection for the pool-invariant tests. *)

@@ -19,12 +19,14 @@ type t = { me : int; vectors : int array Vec.t }
 let create ~me = { me; vectors = Vec.create () }
 let me t = t.me
 
-let record t ~index ~dv =
+let record_shared t ~index ~dv =
   if index <> t.vectors.Vec.size then
     invalid_arg
       (Printf.sprintf "Dv_archive.record: p%d expected index %d, got %d" t.me
          t.vectors.Vec.size index);
-  Vec.push t.vectors (Array.copy dv)
+  Vec.push t.vectors dv
+
+let record t ~index ~dv = record_shared t ~index ~dv:(Array.copy dv)
 
 let truncate_above t ~index =
   if index + 1 < t.vectors.Vec.size then t.vectors.Vec.size <- index + 1

@@ -17,9 +17,16 @@ val create : me:int -> t
 val me : t -> int
 
 val record : t -> index:int -> dv:int array -> unit
-(** Archive the vector stored with checkpoint [s^index].
+(** Archive the vector stored with checkpoint [s^index] (copies [dv]).
     @raise Invalid_argument unless [index] is exactly one past the last
     recorded index (checkpoints are taken in order). *)
+
+val record_shared : t -> index:int -> dv:int array -> unit
+(** Like {!record} but takes shared ownership of [dv] without copying:
+    the caller guarantees the array is immutable from now on — e.g. the
+    snapshot a {!Rdt_storage.Stable_store.store_from} entry already owns.
+    This keeps the checkpoint hot path at exactly one copy (DESIGN.md
+    §10). *)
 
 val truncate_above : t -> index:int -> unit
 (** Forget every archived vector with index strictly greater than

@@ -69,12 +69,14 @@ let last_index t =
   | None -> -1
   | Some (index, _) -> index
 
-let store t ~index ~dv ~now ~size_bytes ?(payload = 0) () =
+let store_from t ~index ~dv ~now ~size_bytes ?(payload = 0) () =
   if index <= last_index t then
     invalid_arg
       (Printf.sprintf
          "Stable_store.store: p%d writing s^%d but already holds s^%d" t.me
          index (last_index t));
+  (* the single store-boundary copy: the entry owns its snapshot of the
+     borrowed vector and never mutates it afterwards *)
   let entry =
     { index; dv = Array.copy dv; taken_at = now; size_bytes; payload }
   in
@@ -83,7 +85,11 @@ let store t ~index ~dv ~now ~size_bytes ?(payload = 0) () =
   t.stored_total <- t.stored_total + 1;
   t.peak_count <- max t.peak_count (Int_map.cardinal t.entries);
   t.peak_bytes <- max t.peak_bytes t.bytes;
-  match t.backend with Some b -> b.b_store entry | None -> ()
+  (match t.backend with Some b -> b.b_store entry | None -> ());
+  entry
+
+let store t ~index ~dv ~now ~size_bytes ?payload () =
+  ignore (store_from t ~index ~dv ~now ~size_bytes ?payload ())
 
 let eliminate t ~index =
   match Int_map.find_opt index t.entries with

@@ -74,6 +74,22 @@ val store :
     greater than every retained index (checkpoints are written in order;
     after a rollback the undone ones are truncated first). *)
 
+val store_from :
+  t ->
+  index:int ->
+  dv:int array ->
+  now:float ->
+  size_bytes:int ->
+  ?payload:int ->
+  unit ->
+  entry
+(** Borrow-style {!store}: [dv] is only read during the call (a borrowed
+    {!Rdt_causality.Dependency_vector.view} is fine) and is copied
+    internally exactly once — the store-boundary copy of DESIGN.md §10.
+    Returns the stored entry so callers that need the same snapshot
+    elsewhere (e.g. the DV archive) can share [entry.dv] instead of
+    copying again; the entry's vector is immutable from here on. *)
+
 val eliminate : t -> index:int -> unit
 (** Collects one checkpoint.  @raise Invalid_argument if not retained. *)
 

@@ -65,6 +65,18 @@ let test_dv_checkpoint_precedes () =
   Alcotest.(check bool) "alpha=2 not<" false
     (DV.checkpoint_precedes ~index:2 ~of_:0 dv_c)
 
+let test_dv_inplace_arity () =
+  let a = DV.create ~n:2 and b = DV.create ~n:3 in
+  Alcotest.check_raises "max_into"
+    (Invalid_argument "Dependency_vector.max_into: size mismatch") (fun () ->
+      DV.max_into ~src:a ~dst:b);
+  Alcotest.check_raises "blit_into"
+    (Invalid_argument "Dependency_vector.blit_into: size mismatch") (fun () ->
+      DV.blit_into ~src:a ~dst:b);
+  Alcotest.check_raises "compare_le"
+    (Invalid_argument "Dependency_vector.compare_le: size mismatch") (fun () ->
+      ignore (DV.compare_le a b))
+
 (* --- qcheck properties ------------------------------------------------ *)
 
 let gen_vc n = QCheck.Gen.(array_size (return n) (int_bound 20))
@@ -114,6 +126,54 @@ let prop_dv_merge_idempotent =
       ignore (DV.merge_from_message dv b);
       DV.merge_from_message dv b = [])
 
+(* equivalence of the in-place, no-alloc variants (DESIGN.md §10) with
+   the copying reference semantics, over random vectors *)
+
+let prop_max_into_is_pointwise_max =
+  QCheck.Test.make ~name:"max_into = pointwise max" ~count:300 arb_vc_pair
+    (fun (a, b) ->
+      let dst = DV.of_array a in
+      DV.max_into ~src:(DV.of_array b) ~dst;
+      DV.to_array dst = Array.map2 max a b)
+
+let prop_blit_into_is_copy =
+  QCheck.Test.make ~name:"blit_into = copy" ~count:300 arb_vc_pair
+    (fun (a, b) ->
+      let dst = DV.of_array a in
+      DV.blit_into ~src:(DV.of_array b) ~dst;
+      DV.to_array dst = b)
+
+let prop_compare_le_is_componentwise =
+  QCheck.Test.make ~name:"compare_le = componentwise <=" ~count:300
+    arb_vc_pair (fun (a, b) ->
+      DV.compare_le (DV.of_array a) (DV.of_array b)
+      = Array.for_all2 (fun x y -> x <= y) a b)
+
+let prop_max_into_matches_merge =
+  QCheck.Test.make ~name:"max_into = merge_from_message (sans report)"
+    ~count:300 arb_vc_pair (fun (a, b) ->
+      let via_merge = DV.of_array a in
+      ignore (DV.merge_from_message via_merge b);
+      let via_max = DV.of_array a in
+      DV.max_into ~src:(DV.of_view b) ~dst:via_max;
+      DV.equal via_merge via_max)
+
+let prop_view_roundtrip =
+  QCheck.Test.make ~name:"view/of_view alias without copying" ~count:300
+    arb_vc_pair (fun (a, _) ->
+      let dv = DV.of_array a in
+      let v = DV.view dv in
+      (* the view aliases the live vector: a mutation is visible through it *)
+      DV.set dv 0 (DV.get dv 0 + 1);
+      v.(0) = a.(0) + 1 && DV.equal (DV.of_view v) dv)
+
+let prop_iteri_enumerates =
+  QCheck.Test.make ~name:"iteri enumerates all entries in order" ~count:300
+    arb_vc_pair (fun (a, _) ->
+      let seen = ref [] in
+      DV.iteri (DV.of_array a) ~f:(fun j v -> seen := (j, v) :: !seen);
+      List.rev !seen = List.mapi (fun j v -> (j, v)) (Array.to_list a))
+
 let qcheck_suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -122,6 +182,12 @@ let qcheck_suite =
       prop_leq_antisym;
       prop_order_trichotomy;
       prop_dv_merge_idempotent;
+      prop_max_into_is_pointwise_max;
+      prop_blit_into_is_copy;
+      prop_compare_le_is_componentwise;
+      prop_max_into_matches_merge;
+      prop_view_roundtrip;
+      prop_iteri_enumerates;
     ]
 
 let suite =
@@ -137,5 +203,7 @@ let suite =
     Alcotest.test_case "dv last known" `Quick test_dv_last_known;
     Alcotest.test_case "dv checkpoint precedes (eq 2)" `Quick
       test_dv_checkpoint_precedes;
+    Alcotest.test_case "dv in-place ops check arity" `Quick
+      test_dv_inplace_arity;
   ]
   @ qcheck_suite

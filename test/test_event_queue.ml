@@ -78,6 +78,127 @@ let test_many_random () =
   Alcotest.(check (list (float 1e-9))) "heap sorts" (List.sort compare times)
     popped
 
+(* --- entry pool -------------------------------------------------------- *)
+
+let test_pool_recycles () =
+  let q = Q.create () in
+  ignore (Q.add q ~time:1.0 "a");
+  ignore (Q.add q ~time:2.0 "b");
+  Alcotest.(check int) "empty pool while scheduled" 0 (Q.pool_size q);
+  ignore (drain q);
+  Alcotest.(check int) "both entries recycled" 2 (Q.pool_size q);
+  ignore (Q.add q ~time:3.0 "c");
+  Alcotest.(check int) "add reuses a pooled entry" 1 (Q.pool_size q);
+  Alcotest.(check (option string)) "reused entry fires correctly"
+    (Some "c")
+    (Option.map snd (Q.pop q))
+
+let test_stale_handle_after_reuse () =
+  (* a handle kept across fire + recycle + reuse must not cancel the new
+     occupant of the pooled entry *)
+  let q = Q.create () in
+  let h = Q.add q ~time:1.0 "old" in
+  (match Q.pop q with
+  | Some (_, "old") -> ()
+  | _ -> Alcotest.fail "expected old to fire");
+  ignore (Q.add q ~time:2.0 "new");
+  Q.cancel q h;
+  Alcotest.(check int) "new event still live" 1 (Q.length q);
+  Alcotest.(check (option string)) "new event fires" (Some "new")
+    (Option.map snd (Q.pop q))
+
+(* Reference model: a sorted association list over (time, insertion seq) —
+   the semantics the pooled heap must preserve. *)
+module Reference = struct
+  type 'a t = {
+    mutable entries : (float * int * 'a * bool ref) list;
+    mutable next_seq : int;
+  }
+
+  let create () = { entries = []; next_seq = 0 }
+
+  let add t ~time v =
+    let cell = (time, t.next_seq, v, ref true) in
+    t.next_seq <- t.next_seq + 1;
+    t.entries <-
+      List.sort
+        (fun (t1, s1, _, _) (t2, s2, _, _) -> compare (t1, s1) (t2, s2))
+        (cell :: t.entries);
+    cell
+
+  let cancel (_, _, _, live) = live := false
+
+  let pop t =
+    match t.entries with
+    | [] -> None
+    | (time, _, v, live) :: rest ->
+      t.entries <- rest;
+      if !live then Some (time, v) else None
+
+  let rec pop_live t =
+    match t.entries with
+    | [] -> None
+    | _ -> ( match pop t with None -> pop_live t | some -> some)
+end
+
+let prop_pool_matches_reference =
+  QCheck.Test.make
+    ~name:"pooled schedule/cancel/fire = unpooled reference order" ~count:200
+    QCheck.(make ~print:string_of_int Gen.(int_bound 100_000))
+    (fun seed ->
+      let rng = Rdt_sim.Prng.create ~seed in
+      let q = Q.create () in
+      let r = Reference.create () in
+      let fired_q = ref [] and fired_r = ref [] in
+      (* pending pairs of (heap handle, reference cell), cancellable *)
+      let pending = ref [] in
+      for _ = 1 to 300 do
+        match Rdt_sim.Prng.int rng 4 with
+        | 0 | 1 ->
+          (* schedule the same value on both sides; coarse times force
+             ties so the FIFO tie-break is exercised *)
+          let time = float_of_int (Rdt_sim.Prng.int rng 8) in
+          let v = Rdt_sim.Prng.int rng 1_000_000 in
+          let h = Q.add q ~time v in
+          let cell = Reference.add r ~time v in
+          pending := (h, cell) :: !pending
+        | 2 -> begin
+          (* fire the earliest live event on both sides *)
+          match Reference.pop_live r with
+          | None ->
+            if Q.pop q <> None then Alcotest.fail "heap fired, reference empty"
+          | Some (time, v) -> (
+            match Q.pop q with
+            | Some (time', v') when time = time' && v = v' ->
+              fired_q := (time', v') :: !fired_q;
+              fired_r := (time, v) :: !fired_r
+            | Some (time', v') ->
+              Alcotest.failf "heap fired (%f,%d), reference (%f,%d)" time' v'
+                time v
+            | None -> Alcotest.fail "reference fired, heap empty")
+        end
+        | _ -> begin
+          match !pending with
+          | [] -> ()
+          | _ ->
+            let arr = Array.of_list !pending in
+            let pick = Rdt_sim.Prng.int rng (Array.length arr) in
+            let h, cell = arr.(pick) in
+            (* cancelling twice or cancelling a fired entry must stay a
+               no-op on both sides *)
+            Q.cancel q h;
+            Reference.cancel cell
+        end
+      done;
+      (* drain the rest: firing order must agree to the end *)
+      let rec drain_both () =
+        match (Reference.pop_live r, Q.pop q) with
+        | None, None -> true
+        | Some (t1, v1), Some (t2, v2) when t1 = t2 && v1 = v2 -> drain_both ()
+        | _ -> false
+      in
+      drain_both () && !fired_q = !fired_r)
+
 let suite =
   [
     Alcotest.test_case "time order" `Quick test_time_order;
@@ -88,4 +209,8 @@ let suite =
     Alcotest.test_case "peek skips cancelled" `Quick test_peek_skips_cancelled;
     Alcotest.test_case "interleaved ops" `Quick test_interleaved_operations;
     Alcotest.test_case "random stress sorts" `Quick test_many_random;
+    Alcotest.test_case "pool recycles entries" `Quick test_pool_recycles;
+    Alcotest.test_case "stale handle after entry reuse" `Quick
+      test_stale_handle_after_reuse;
+    QCheck_alcotest.to_alcotest prop_pool_matches_reference;
   ]
