@@ -1,4 +1,4 @@
-.PHONY: all build test bench figures eval micro smoke bench-json perf perf-smoke examples clean
+.PHONY: all build test bench figures eval micro smoke bench-json perf perf-smoke fuzz-smoke examples clean
 
 all: build
 
@@ -43,6 +43,13 @@ perf:
 
 # fast perf regression check: the incremental-CCP criterion only
 perf-smoke: smoke
+
+# ~10 s differential-fuzz budget: a fixed-seed campaign plus the
+# over-collecting-mutant self-check (DESIGN.md §11); the nightly CI job
+# runs the same campaign with a fresh seed and a much larger budget
+fuzz-smoke:
+	dune exec bin/rdtgc_cli.exe -- fuzz --seed 2026 --runs 500 --max-procs 6 -q
+	dune exec bin/rdtgc_cli.exe -- fuzz --mutate-lgc --seed 7 --runs 10 -q
 
 examples:
 	dune exec examples/quickstart.exe

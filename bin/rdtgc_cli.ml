@@ -477,6 +477,91 @@ let protocols_cmd =
   let doc = "List the available communication-induced checkpointing protocols." in
   Cmd.v (Cmd.info "protocols" ~doc) Term.(const do_protocols $ const ())
 
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let do_fuzz seed runs max_procs shrink corpus mutate_lgc replay quiet =
+  let log = if quiet then fun _ -> () else print_endline in
+  match replay with
+  | Some file -> begin
+    (* replay one saved scenario and report its verdict *)
+    match Rdt_verify.Scenario.load file with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" file e;
+      exit 1
+    | Ok sc ->
+      let r = Rdt_verify.Harness.run ~mutate_lgc sc in
+      Format.printf "%a@." Rdt_verify.Scenario.pp sc;
+      (match r.Rdt_verify.Harness.violations with
+      | [] -> print_endline "ok"
+      | vs ->
+        List.iter
+          (fun v -> Format.printf "%a@." Rdt_verify.Oracles.pp_violation v)
+          vs;
+        exit 1)
+  end
+  | None ->
+    let report =
+      Rdt_verify.Fuzz.campaign ~mutate_lgc ~shrink ?corpus ~log ~seed ~runs
+        ~max_procs ()
+    in
+    if mutate_lgc then begin
+      (* self-check: the deliberately broken collector must be caught *)
+      if Rdt_verify.Fuzz.passed report then begin
+        print_endline
+          "self-check FAILED: over-collecting mutant escaped every oracle";
+        exit 1
+      end
+      else print_endline "self-check ok: mutant caught"
+    end
+    else if not (Rdt_verify.Fuzz.passed report) then exit 1
+
+let fuzz_cmd =
+  let doc =
+    "Differential simulation fuzzing: generate random scenarios from a seed, \
+     run them through the protocols, RDT-LGC and the durable store, and \
+     check every step against the paper's theorem oracles.  Failures are \
+     delta-debugged to minimal reproducers."
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Root seed; every run derives a sub-seed from it.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N"
+           ~doc:"Number of generated scenarios.")
+  in
+  let max_procs_arg =
+    Arg.(value & opt int 6 & info [ "max-procs" ] ~docv:"N"
+           ~doc:"Upper bound on the process count of generated scenarios.")
+  in
+  let shrink_arg =
+    Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL"
+           ~doc:"Delta-debug failing scenarios to minimal reproducers.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Replay saved failing scenarios ($(b,*.scn)) first, and save \
+                 new failures (original, shrunk, and an OCaml reproducer) \
+                 here.")
+  in
+  let mutate_arg =
+    Arg.(value & flag & info [ "mutate-lgc" ]
+           ~doc:"Self-check: enable the over-collecting mutation in every \
+                 collector; exit 0 iff the campaign catches it.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay one saved scenario file instead of fuzzing; exit 0 \
+                 iff it passes the oracles.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-run output.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const do_fuzz $ seed_arg $ runs_arg $ max_procs_arg $ shrink_arg
+      $ corpus_arg $ mutate_arg $ replay_arg $ quiet_arg)
+
 let () =
   let doc =
     "RDT-LGC: optimal asynchronous garbage collection for RDT checkpointing \
@@ -494,4 +579,5 @@ let () =
             store_stats_cmd;
             figure4_cmd;
             protocols_cmd;
+            fuzz_cmd;
           ]))

@@ -33,7 +33,7 @@ let show s step =
 let () =
   Format.printf
     "Figure 4 replay: states shown as DV/UC per process ('*' = Null).@.@.";
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true () in
   show s "initial checkpoints s0 stored";
   Script.transfer s ~src:0 ~dst:1;
   show s "m: p0 -> p1 (p1 pins its s0 for p0)";

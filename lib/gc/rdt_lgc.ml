@@ -12,6 +12,7 @@ type t = {
   store : Stable_store.t;
   dv : Dependency_vector.t;
   uc : ccb option array;
+  mutable test_overcollect : bool;
 }
 
 let release t j =
@@ -37,7 +38,7 @@ let create ~me ~store ~dv ~n =
   if Stable_store.count store <> 1 || not (Stable_store.mem store ~index:0)
   then
     invalid_arg "Rdt_lgc.create: attach to a fresh middleware holding only s^0";
-  let t = { n; me; store; dv; uc = Array.make n None } in
+  let t = { n; me; store; dv; uc = Array.make n None; test_overcollect = false } in
   (* state after initialize() plus the checkpoint step for s^0 *)
   new_ccb t ~index:0;
   t
@@ -48,7 +49,15 @@ let on_new_dependency t j =
 
 let on_checkpoint_stored t index =
   release t t.me;
-  new_ccb t ~index
+  new_ccb t ~index;
+  if t.test_overcollect then
+    (* deliberately wrong: also drop every cross-process retention duty,
+       eliminating checkpoints other processes may still need *)
+    for f = 0 to t.n - 1 do
+      if f <> t.me then release t f
+    done
+
+let set_test_overcollect t flag = t.test_overcollect <- flag
 
 let on_rollback t ~li =
   if Array.length li <> t.n then invalid_arg "Rdt_lgc.on_rollback: arity";

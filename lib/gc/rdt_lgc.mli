@@ -65,6 +65,15 @@ val release_outdated : t -> li:int array -> unit
     checkpoint of [p_f] does not precede the local volatile state, so
     nothing needs to be retained because of [p_f]). *)
 
+val set_test_overcollect : t -> bool -> unit
+(** Test hook for the differential fuzzer's self-check
+    ({!Rdt_verify.Fuzz}): when enabled, {!on_checkpoint_stored}
+    additionally releases every non-local [UC] entry, so the collector
+    over-collects — checkpoints other processes may still need are
+    eliminated, violating Theorem 4.  The fuzzer must detect this within a
+    few seeds and shrink the violation to a handful of events.  Never
+    enable outside tests. *)
+
 val uc_view : t -> int option array
 (** Current [UC] contents as checkpoint indices ([None] = Null reference);
     the representation the paper's Figure 4 prints. *)

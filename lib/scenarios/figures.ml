@@ -86,7 +86,7 @@ let figure2 () =
   { ccp = Ccp.of_trace t; trace = t; m1; m2; m3; m4 }
 
 let figure2_with_protocol protocol =
-  let s = Script.create ~n:2 ~protocol ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol ~with_lgc:false () in
   (* same interleaving; the protocol may interleave forced checkpoints *)
   Script.transfer s ~src:1 ~dst:0;
   Script.checkpoint s 0;
@@ -105,7 +105,7 @@ let figure2_with_protocol protocol =
 (* ------------------------------------------------------------------ *)
 
 let figure4 () =
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.transfer s ~src:0 ~dst:1 (* p1 hears from p0, pins its s0 *);
   Script.transfer s ~src:1 ~dst:2 (* relays p0's dependency to p2 *);
   Script.checkpoint s 1 (* s1 of p1 *);
@@ -160,7 +160,7 @@ let recovery_ccp () =
 
 let worst_case ~n =
   if n < 2 then invalid_arg "Figures.worst_case: n must be at least 2";
-  let s = Script.create ~n ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n ~protocol:Protocol.fdas ~with_lgc:true () in
   for k = 0 to n - 1 do
     (* all sends of the phase leave before any delivery, so receivers'
        knowledge cannot flow back within the phase *)

@@ -4,25 +4,32 @@ module Stable_store = Rdt_storage.Stable_store
 module Dependency_vector = Rdt_causality.Dependency_vector
 module Trace = Rdt_ccp.Trace
 module Ccp = Rdt_ccp.Ccp
+module Session = Rdt_recovery.Session
+
+type msg = {
+  payload : Middleware.message;
+  dst : int;
+  mutable delivered : bool;
+  mutable dead : bool;  (* lost, or discarded by a crash while in flight *)
+}
 
 type t = {
   n : int;
   trace : Trace.t;
   middlewares : Middleware.t array;
   collectors : Rdt_lgc.t option array;
+  knowledge : Session.knowledge;
+  mutable in_flight : msg list;
+  mutable crashes : int;
   mutable clock : float;
 }
 
-type msg = {
-  payload : Middleware.message;
-  dst : int;
-  mutable delivered : bool;
-}
-
-let create ~n ~protocol ~with_lgc =
+let create ?(knowledge = `Global) ?store_of ~n ~protocol ~with_lgc () =
   let trace = Trace.create ~n in
   let middlewares =
-    Array.init n (fun me -> Middleware.create ~n ~me ~protocol ~trace ())
+    Array.init n (fun me ->
+        let store = Option.map (fun f -> f ~me) store_of in
+        Middleware.create ~n ~me ~protocol ~trace ?store ())
   in
   let collectors =
     Array.init n (fun me ->
@@ -37,7 +44,16 @@ let create ~n ~protocol ~with_lgc =
         end
         else None)
   in
-  { n; trace; middlewares; collectors; clock = 0.0 }
+  {
+    n;
+    trace;
+    middlewares;
+    collectors;
+    knowledge;
+    in_flight = [];
+    crashes = 0;
+    clock = 0.0;
+  }
 
 let n t = t.n
 
@@ -50,15 +66,52 @@ let checkpoint t pid =
 
 let send t ~src ~dst =
   let payload = Middleware.prepare_send t.middlewares.(src) ~dst ~now:(tick t) in
-  { payload; dst; delivered = false }
+  let m = { payload; dst; delivered = false; dead = false } in
+  t.in_flight <- m :: t.in_flight;
+  m
+
+let forget t msg = t.in_flight <- List.filter (fun m -> m != msg) t.in_flight
 
 let deliver t msg =
   if msg.delivered then invalid_arg "Script.deliver: already delivered";
+  if msg.dead then
+    invalid_arg "Script.deliver: message was lost (dropped or crash-flushed)";
   msg.delivered <- true;
+  forget t msg;
   Middleware.receive t.middlewares.(msg.dst) msg.payload ~now:(tick t)
 
 let transfer t ~src ~dst = deliver t (send t ~src ~dst)
 
+let drop t msg =
+  if msg.delivered then invalid_arg "Script.drop: already delivered";
+  if msg.dead then invalid_arg "Script.drop: already lost";
+  msg.dead <- true;
+  forget t msg
+
+let alive t msg = (not msg.delivered) && (not msg.dead) && List.memq msg t.in_flight
+
+let crash t ~faulty =
+  if faulty = [] then invalid_arg "Script.crash: empty faulty set";
+  List.iter
+    (fun pid ->
+      if pid < 0 || pid >= t.n then invalid_arg "Script.crash: bad pid")
+    faulty;
+  ignore (tick t);
+  (* the stop-world session discards every in-transit message (the CCP
+     excludes lost and in-transit messages) *)
+  List.iter (fun m -> m.dead <- true) t.in_flight;
+  t.in_flight <- [];
+  t.crashes <- t.crashes + 1;
+  let release_outdated pid ~li =
+    match t.collectors.(pid) with
+    | Some lgc -> Rdt_lgc.release_outdated lgc ~li
+    | None -> ()
+  in
+  Session.run ~middlewares:t.middlewares ~faulty ~knowledge:t.knowledge
+    ~release_outdated
+
+let crash_count t = t.crashes
+let knowledge t = t.knowledge
 let middleware t pid = t.middlewares.(pid)
 let collector t pid = t.collectors.(pid)
 let store t pid = Middleware.store t.middlewares.(pid)

@@ -1,17 +1,29 @@
 (** Scripted executions: drive real middleware (and optionally RDT-LGC)
-    through an explicit sequence of sends, receives and checkpoints,
-    without the discrete-event engine.
+    through an explicit sequence of sends, receives, checkpoints, message
+    losses and crash–recovery sessions, without the discrete-event engine.
 
     Used to transcribe the paper's space-time diagrams event by event —
     the figures fix exact interleavings that a random simulation would
-    never reproduce.  Virtual time advances by one unit per operation. *)
+    never reproduce — and by the differential fuzzer ({!Rdt_verify}) as
+    the replay substrate for generated scenarios and shrunk reproducers.
+    Virtual time advances by one unit per operation. *)
 
 type t
 
 val create :
-  n:int -> protocol:Rdt_protocols.Protocol.t -> with_lgc:bool -> t
+  ?knowledge:Rdt_recovery.Session.knowledge ->
+  ?store_of:(me:int -> Rdt_storage.Stable_store.t) ->
+  n:int ->
+  protocol:Rdt_protocols.Protocol.t ->
+  with_lgc:bool ->
+  unit ->
+  t
 (** Fresh system; every process has stored its initial checkpoint and,
-    when [with_lgc], has an attached RDT-LGC collector. *)
+    when [with_lgc], has an attached RDT-LGC collector.  [knowledge]
+    (default [`Global]) selects the recovery-session mode used by
+    {!crash}.  [store_of] supplies pre-built (empty) stable stores — e.g.
+    ones whose durability backend is a {!Rdt_store.Log_store} — one per
+    process; default: fresh in-memory stores. *)
 
 val n : t -> int
 
@@ -23,12 +35,33 @@ type msg
 
 val send : t -> src:int -> dst:int -> msg
 val deliver : t -> msg -> unit
-(** @raise Invalid_argument if already delivered or wrong script order
-    (delivery is to the destination given at send time). *)
+(** @raise Invalid_argument if already delivered, lost, or wrong script
+    order (delivery is to the destination given at send time). *)
 
 val transfer : t -> src:int -> dst:int -> unit
 (** [send] immediately followed by [deliver] — for diagram arrows with no
     crossing. *)
+
+val drop : t -> msg -> unit
+(** Lose an in-flight message (the asynchronous model allows it); the
+    message can no longer be delivered.
+    @raise Invalid_argument if already delivered or already lost. *)
+
+val alive : t -> msg -> bool
+(** Still in flight: neither delivered, dropped, nor crash-flushed. *)
+
+val crash : t -> faulty:int list -> Rdt_recovery.Session.report
+(** Stop-world crash of [faulty] followed immediately by a centralized
+    recovery session ({!Rdt_recovery.Session.run}) in the script's
+    knowledge mode.  Every message still in flight is discarded first (the
+    CCP excludes lost and in-transit messages); delivering one of them
+    afterwards raises.
+    @raise Invalid_argument on an empty or out-of-range faulty set. *)
+
+val crash_count : t -> int
+(** Recovery sessions run so far. *)
+
+val knowledge : t -> Rdt_recovery.Session.knowledge
 
 val middleware : t -> int -> Rdt_protocols.Middleware.t
 val collector : t -> int -> Rdt_gc.Rdt_lgc.t option

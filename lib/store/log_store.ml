@@ -62,7 +62,10 @@ type t = {
   mutable dirty : bool;
   mutable poisoned : bool;
   mutable closed : bool;
+  mutable compact_crash : [ `After_seal | `After_rewrite ] option;
 }
+
+exception Compaction_crash of [ `After_seal | `After_rewrite ]
 
 let pid t = t.pid
 let dir t = t.dir
@@ -195,6 +198,7 @@ let create ?(config = default_config) ?(faults = Fault.none) ~pid ~dir () =
       dirty = false;
       poisoned = false;
       closed = false;
+      compact_crash = None;
     }
   in
   (match Manifest.read ~dir with
@@ -297,7 +301,21 @@ let garbage t =
       (total + info.total_bytes, dead + info.dead_bytes))
     t.segs (0, 0)
 
+let arm_compaction_crash t point = t.compact_crash <- Some point
+
+let maybe_compaction_crash t point =
+  match t.compact_crash with
+  | Some p when p = point ->
+    t.compact_crash <- None;
+    t.poisoned <- true;
+    t.active <- None;
+    raise (Compaction_crash point)
+  | Some _ | None -> ()
+
 let compact_sealed t =
+  (* crash window 1: the active segment was sealed (fully synced), nothing
+     of the compaction itself has happened yet *)
+  maybe_compaction_crash t `After_seal;
   let sealed =
     Hashtbl.fold (fun _ info acc -> if info.sealed then info :: acc else acc)
       t.segs []
@@ -335,6 +353,10 @@ let compact_sealed t =
       t.syncs <- t.syncs + 1;
       Hashtbl.add t.segs id info
     end;
+    (* crash window 2: the rewrite segment is durable but the superseded
+       sealed segments have not been deleted yet — recovery must
+       deduplicate by LSN *)
+    maybe_compaction_crash t `After_rewrite;
     List.iter
       (fun info ->
         t.bytes_reclaimed <- t.bytes_reclaimed + info.total_bytes;

@@ -85,6 +85,20 @@ val sync : t -> unit
 val compact : t -> unit
 (** Force a compaction of the sealed segments regardless of thresholds. *)
 
+exception Compaction_crash of [ `After_seal | `After_rewrite ]
+(** Raised by a compaction when a crash armed with
+    {!arm_compaction_crash} fires.  Like {!Fault.Injected_crash}, the
+    instance is poisoned afterwards and the directory must be reopened. *)
+
+val arm_compaction_crash : t -> [ `After_seal | `After_rewrite ] -> unit
+(** Test hook: make the next compaction (manual {!compact} or automatic)
+    crash deterministically at one of its two durability windows —
+    [`After_seal]: the active segment has been sealed but no rewrite has
+    happened; [`After_rewrite]: the rewrite segment is on disk but the
+    superseded sealed segments have not been deleted yet.  In both cases a
+    recovery scan of the directory must restore exactly the
+    pre-compaction live set. *)
+
 val close : t -> unit
 (** Seal the active segment (fsync) and persist the manifest.  Idempotent;
     only writes if the store mutated since opening. *)

@@ -1,0 +1,46 @@
+(** Fuzzing campaigns.
+
+    A campaign derives one sub-seed per run from the root seed
+    (splitmix64), generates a {!Scenario}, executes it under the
+    {!Harness} oracles, and on failure delta-debugs a minimal reproducer
+    ({!Shrink}).  With a corpus directory, previously saved failing
+    scenarios ([*.scn]) are replayed first as regressions, and new
+    failures are written back as [seed-<hex>.scn] (original),
+    [seed-<hex>.min.scn] (shrunk) and [seed-<hex>.ml] (an OCaml
+    reproducer over {!Rdt_scenarios.Script}).
+
+    Everything — generation, execution, shrinking, and every line passed
+    to [log] — is a deterministic function of the arguments, so equal
+    seeds produce byte-identical output. *)
+
+type failure = {
+  run : int;
+  scenario : Scenario.t;
+  violation : Oracles.violation;  (** the first violation of the run *)
+  shrunk : Scenario.t option;
+}
+
+type report = {
+  runs : int;
+  failures : failure list;
+  corpus_replayed : int;
+  corpus_failed : int;
+}
+
+val passed : report -> bool
+(** No generated-run failures and no corpus regressions. *)
+
+val campaign :
+  ?mutate_lgc:bool ->
+  ?shrink:bool ->
+  ?corpus:string ->
+  ?log:(string -> unit) ->
+  ?scratch_dir:string ->
+  seed:int ->
+  runs:int ->
+  max_procs:int ->
+  unit ->
+  report
+(** [mutate_lgc] runs the self-check configuration: every collector
+    over-collects via {!Rdt_gc.Rdt_lgc.set_test_overcollect}, and the
+    campaign is expected to catch it ([shrink] defaults to [true]). *)

@@ -1,0 +1,40 @@
+(** Scenario execution with differential checking.
+
+    Replays a {!Scenario.t} through the full stack — real middleware and
+    protocol, RDT-LGC collectors, centralized recovery sessions and
+    (for durable scenarios) per-process {!Rdt_store.Log_store} backends in
+    a scratch directory — running the {!Oracles} after every op at
+    post-event quiescence and stopping at the first violation.
+
+    Durable scenarios additionally maintain a shadow of each store's live
+    entry set; an injected storage fault ({!Rdt_store.Fault}) stops the
+    run and holds what a recovery scan of the directory finds against the
+    shadow's mutation bracket (crash consistency), and fault-free durable
+    runs must recover exactly the final retained set (the epilogue
+    check). *)
+
+type stop =
+  | Completed  (** every op ran (or a logic violation stopped the run) *)
+  | Store_crashed of { pid : int; at_op : int }
+      (** the injected storage fault fired; durability oracles ran *)
+
+type result = {
+  scenario : Scenario.t;  (** the normalized scenario that actually ran *)
+  violations : Oracles.violation list;
+      (** empty = passed; fail-fast, so usually a single entry *)
+  ops_executed : int;
+  stop : stop;
+}
+
+val run : ?mutate_lgc:bool -> ?scratch_dir:string -> Scenario.t -> result
+(** [mutate_lgc] enables {!Rdt_gc.Rdt_lgc.set_test_overcollect} on every
+    collector — the fuzzer's self-check: the run must then produce a
+    violation.  [scratch_dir] overrides where durable scenarios put their
+    store directories (wiped before and after use; default: a
+    process-unique directory under the system temp dir).
+    @raise Invalid_argument on a non-RDT protocol. *)
+
+val rm_rf : string -> unit
+(** Recursive delete, shared with the fuzz driver and tests. *)
+
+val mkdir_p : string -> unit

@@ -1,0 +1,24 @@
+(** Reproducer shrinking (delta debugging).
+
+    Minimizes a failing scenario while preserving {e which} oracle fails:
+    chunked op removal (ddmin) interleaved with whole-process removal and
+    a greedy single-op pass, iterated to a fixpoint.  Candidates are
+    statically {!Scenario.normalize}d, so blind removal cannot produce an
+    ill-formed scenario. *)
+
+val reproduces :
+  ?mutate_lgc:bool -> ?scratch_dir:string -> oracle:string -> Scenario.t -> bool
+(** Re-run the scenario; does it still violate [oracle]? *)
+
+val default_budget : int
+
+val minimize :
+  ?mutate_lgc:bool ->
+  ?scratch_dir:string ->
+  ?budget:int ->
+  oracle:string ->
+  Scenario.t ->
+  Scenario.t
+(** [budget] caps the number of candidate executions (default
+    {!default_budget}); the result is the smallest reproducer found
+    within it.  Deterministic. *)

@@ -122,7 +122,7 @@ let test_archive_tracks_store () =
      collection removed checkpoints from the store *)
   let module Script = Rdt_scenarios.Script in
   let s =
-    Script.create ~n:2 ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:true
+    Script.create ~n:2 ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:true ()
   in
   for _ = 1 to 5 do
     Script.checkpoint s 0

@@ -38,7 +38,7 @@ let test_zigzag_single_message () =
 let test_rollback_to_initial () =
   (* no collector: this exercises the middleware rewind mechanics, and
      with RDT-LGC attached s^0 would long be collected *)
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.checkpoint s 0;
   Script.checkpoint s 0;
   let mw = Script.middleware s 0 in
@@ -51,7 +51,7 @@ let test_rollback_to_initial () =
   Alcotest.(check (list int)) "re-takes s^1" [ 0; 1 ] (Script.retained s 0)
 
 let test_double_rollback () =
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.transfer s ~src:1 ~dst:0;
   Script.checkpoint s 0;
   Script.checkpoint s 0;
@@ -63,7 +63,7 @@ let test_double_rollback () =
     (Rdt_ccp.Rdt_check.holds (Script.ccp s))
 
 let test_rollback_to_missing_checkpoint () =
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.checkpoint s 0;
   let mw = Script.middleware s 0 in
   Alcotest.(check bool) "raises" true
@@ -73,7 +73,7 @@ let test_rollback_to_missing_checkpoint () =
      with Invalid_argument _ -> true)
 
 let test_session_all_faulty () =
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.transfer s ~src:0 ~dst:1;
   Script.checkpoint s 1;
   Script.transfer s ~src:1 ~dst:2;
@@ -148,7 +148,7 @@ let test_recovered_process_resumes_workload () =
   Alcotest.(check bool) "p1 checkpointed after repair" true late_activity
 
 let test_script_double_delivery_rejected () =
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
   let m = Script.send s ~src:0 ~dst:1 in
   Script.deliver s m;
   Alcotest.(check bool) "raises" true
@@ -169,7 +169,7 @@ let test_figure2_under_cas () =
 
 let test_tracking_volatile_target () =
   (* the volatile checkpoint itself can be a tracking target *)
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.transfer s ~src:0 ~dst:1;
   Script.checkpoint s 1;
   let snaps =
@@ -192,7 +192,7 @@ let test_tracking_volatile_target () =
 
 let test_multi_target_consistency_cross_check () =
   (* two fixed targets, trace fixpoints vs DV closed forms *)
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.checkpoint s 0;
   Script.transfer s ~src:0 ~dst:1;
   Script.checkpoint s 1;

@@ -15,7 +15,7 @@ let snapshots_of s =
 (* A no-GC scripted run where the DV computation can be compared with the
    trace oracle on the complete checkpoint set. *)
 let rich_script () =
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.transfer s ~src:0 ~dst:1;
   Script.checkpoint s 1;
   Script.transfer s ~src:1 ~dst:2;

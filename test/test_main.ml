@@ -25,4 +25,5 @@ let () =
       ("ccp-incremental", Test_ccp_incremental.suite);
       ("parallel", Test_parallel.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

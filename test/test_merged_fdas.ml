@@ -17,7 +17,7 @@ type lockstep = {
 
 let make n =
   {
-    script = Script.create ~n ~protocol:Protocol.fdas ~with_lgc:true;
+    script = Script.create ~n ~protocol:Protocol.fdas ~with_lgc:true ();
     merged = Array.init n (fun me -> Merged.create ~n ~me);
     n;
   }

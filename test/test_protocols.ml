@@ -84,7 +84,7 @@ let test_casbr_rule () =
     (p.Protocol.need_forced ~local_dv:[| 1; 0 |] ~incoming:stale)
 
 let test_cas_script () =
-  let s = Script.create ~n:2 ~protocol:Protocol.cas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.cas ~with_lgc:false () in
   let m = Script.send s ~src:0 ~dst:1 in
   (* the forced checkpoint follows the send, so the message carries the
      pre-checkpoint interval *)
@@ -121,7 +121,7 @@ let test_middleware_initialization () =
     (Middleware.basic_count mw)
 
 let test_middleware_dv_flow () =
-  let s = Script.create ~n:3 ~protocol:Protocol.no_forced ~with_lgc:false in
+  let s = Script.create ~n:3 ~protocol:Protocol.no_forced ~with_lgc:false () in
   Script.checkpoint s 0;
   Alcotest.(check (array int)) "own entry incremented" [| 2; 0; 0 |]
     (Script.dv s 0);
@@ -133,7 +133,7 @@ let test_middleware_dv_flow () =
 
 let test_middleware_stored_dv () =
   (* Equation 2 bookkeeping: DV(s^gamma)[own] = gamma *)
-  let s = Script.create ~n:2 ~protocol:Protocol.no_forced ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.no_forced ~with_lgc:false () in
   Script.checkpoint s 0;
   Script.checkpoint s 0;
   let store = Script.store s 0 in
@@ -147,7 +147,7 @@ let test_middleware_stored_dv () =
 let test_middleware_forced_before_delivery () =
   (* FDAS: send then receive a fresh dependency => the forced checkpoint
      must be stored BEFORE the receive is recorded *)
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
   let m_out = Script.send s ~src:0 ~dst:1 in
   ignore m_out;
   Script.checkpoint s 1;
@@ -163,7 +163,7 @@ let test_middleware_forced_before_delivery () =
     Alcotest.(check int) "stored before merging the message" 0 e.dv.(1)
 
 let test_middleware_rollback () =
-  let s = Script.create ~n:2 ~protocol:Protocol.no_forced ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.no_forced ~with_lgc:false () in
   Script.checkpoint s 0;
   Script.checkpoint s 0;
   Script.checkpoint s 0;
@@ -177,7 +177,7 @@ let test_middleware_rollback () =
     (Trace.last_checkpoint_index (Script.trace s) ~pid:0)
 
 let test_app_state_restoration () =
-  let s = Script.create ~n:2 ~protocol:Protocol.no_forced ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.no_forced ~with_lgc:false () in
   let mw = Script.middleware s 0 in
   let state_at_s0 = Middleware.app_state mw in
   Script.transfer s ~src:1 ~dst:0;
@@ -198,7 +198,7 @@ let test_app_state_restoration () =
 
 let test_app_state_deterministic () =
   let run () =
-    let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+    let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
     Script.transfer s ~src:0 ~dst:1;
     Script.checkpoint s 1;
     Script.transfer s ~src:1 ~dst:0;
@@ -207,7 +207,7 @@ let test_app_state_deterministic () =
   Alcotest.(check int) "same history, same state" (run ()) (run ())
 
 let test_middleware_checkpoint_counts () =
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.checkpoint s 0;
   Script.checkpoint s 0;
   let mw = Script.middleware s 0 in
@@ -217,7 +217,7 @@ let test_middleware_checkpoint_counts () =
 (* Forced-checkpoint ordering: BCS forces when the incoming index is
    higher, and the forced checkpoint lands before the receive. *)
 let test_bcs_script () =
-  let s = Script.create ~n:2 ~protocol:Protocol.bcs ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.bcs ~with_lgc:false () in
   Script.checkpoint s 0;
   Script.checkpoint s 0 (* p0's BCS index is now 2 *);
   Script.transfer s ~src:0 ~dst:1 (* p1 must force: 2 > 0 *);

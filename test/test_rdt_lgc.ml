@@ -158,7 +158,7 @@ let test_worst_case_nothing_collectable () =
 let test_rollback_rebuilds_uc () =
   (* p0 hears from p1 after s^1 (pinning s^1), then checkpoints on; a
      decentralized rollback to s^1 must rebuild UC from the stored DVs *)
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.checkpoint s 0;
   Script.transfer s ~src:1 ~dst:0 (* p0 hears from p1: pins s^1 *);
   Script.checkpoint s 0;
@@ -175,7 +175,7 @@ let test_rollback_rebuilds_uc () =
 
 let test_rollback_retains_needed () =
   (* checkpoints pinned by different processes must survive a rollback *)
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.transfer s ~src:1 ~dst:0 (* pins s^0 because of p1 *);
   Script.checkpoint s 0;
   Script.transfer s ~src:2 ~dst:0 (* pins s^1 because of p2 *);
@@ -194,7 +194,7 @@ let test_rollback_retains_needed () =
 let test_rollback_with_global_li () =
   (* with global information, stale UC entries are dropped: LI reveals
      that p1 has moved past what p0's DV knows *)
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.transfer s ~src:1 ~dst:0 (* p0 pins s^0 because of p1 (interval 1) *);
   Script.checkpoint s 0;
   Script.checkpoint s 0 (* s^1 collected here; retained {0, 2} *);
@@ -212,7 +212,7 @@ let test_rollback_with_global_li () =
   Alcotest.(check (list int)) "retained" [ 2 ] (Script.retained s 0)
 
 let test_release_outdated () =
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.transfer s ~src:1 ~dst:0 (* pins s^0 because of p1's interval 1 *);
   Script.checkpoint s 0;
   (match Script.collector s 0 with
@@ -224,8 +224,53 @@ let test_release_outdated () =
     Alcotest.check uc_c "released" [| Some 1; None |] (Script.uc s 0));
   Alcotest.(check (list int)) "s^0 collected" [ 1 ] (Script.retained s 0)
 
+(* --- the quiescence contract ------------------------------------------ *)
+
+let test_oracle_comparison_at_quiescence () =
+  (* Pins the contract the differential fuzzer's oracles rely on: the
+     omniscient Oracle and RDT-LGC are compared at *post-event
+     quiescence*.  While a checkpoint event is in flight the store holds
+     the new checkpoint before [on_checkpoint_stored] has collected the
+     released ones, so a mid-event observer sees n+1 entries and a
+     retained set the Oracle would reject; both disagreements vanish by
+     the time the event returns. *)
+  let n = 2 in
+  let mid_counts = ref [] in
+  let store_of ~me =
+    let st = Stable_store.create ~me in
+    Stable_store.set_backend st
+      {
+        Stable_store.b_store =
+          (fun _ -> mid_counts := Stable_store.count st :: !mid_counts);
+        b_eliminate = (fun _ -> ());
+        b_truncate_above = (fun ~index:_ -> ());
+      };
+    st
+  in
+  let s = Script.create ~store_of ~n ~protocol:Protocol.fdas ~with_lgc:true () in
+  Script.transfer s ~src:1 ~dst:0 (* p0 pins s^0 because of p1's interval *);
+  Script.checkpoint s 0 (* retained {0,1} = n *);
+  Script.checkpoint s 0 (* mid-store n+1; quiescent again by return *);
+  (* the probe really did catch the store above the bound... *)
+  Alcotest.(check int) "probe saw the transient n+1" (n + 1)
+    (List.fold_left max 0 !mid_counts);
+  (* ...yet at quiescence every fuzzer oracle holds: bound back to n, and
+     the omniscient retained set is a subset of what RDT-LGC kept *)
+  Alcotest.(check int) "back to n at quiescence" n
+    (Stable_store.count (Script.store s 0));
+  Alcotest.(check (list int)) "s^1 collected once the event completed"
+    [ 0; 2 ] (Script.retained s 0);
+  let ccp = Script.ccp s in
+  List.iter
+    (fun index ->
+      Alcotest.(check bool)
+        (Printf.sprintf "oracle-retained s^%d survives" index)
+        true
+        (List.mem index (Script.retained s 0)))
+    (Oracle.retained ccp ~pid:0)
+
 let test_create_requires_fresh_store () =
-  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:2 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.checkpoint s 0;
   let mw = Script.middleware s 0 in
   Alcotest.(check bool) "rejects non-fresh store" true
@@ -308,6 +353,8 @@ let suite =
     Alcotest.test_case "rollback with global LI" `Quick
       test_rollback_with_global_li;
     Alcotest.test_case "release_outdated" `Quick test_release_outdated;
+    Alcotest.test_case "oracle comparison point is post-event quiescence"
+      `Quick test_oracle_comparison_at_quiescence;
     Alcotest.test_case "create requires fresh store" `Quick
       test_create_requires_fresh_store;
     QCheck_alcotest.to_alcotest prop_safety;

@@ -82,7 +82,7 @@ let test_lemma1_minimizes_rollback () =
 let test_snapshots_agree_with_lemma1_no_gc () =
   (* with no collection, stored DVs describe every checkpoint, so the
      runtime computation must equal the ground-truth one *)
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:false in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:false () in
   Script.transfer s ~src:0 ~dst:1;
   Script.checkpoint s 1;
   Script.transfer s ~src:1 ~dst:2;
@@ -122,7 +122,7 @@ let test_domino_effect_rollback_depth () =
 (* --- sessions --------------------------------------------------------- *)
 
 let session_setup () =
-  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true in
+  let s = Script.create ~n:3 ~protocol:Protocol.fdas ~with_lgc:true () in
   Script.transfer s ~src:0 ~dst:1;
   Script.checkpoint s 1;
   Script.transfer s ~src:1 ~dst:2;

@@ -21,7 +21,7 @@ let test_figure_style_unit () =
   (* a small deterministic scripted run *)
   let s =
     Rdt_scenarios.Script.create ~n:3
-      ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:false
+      ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:false ()
   in
   let module Script = Rdt_scenarios.Script in
   Script.transfer s ~src:0 ~dst:1;
@@ -52,7 +52,7 @@ let test_figure_style_unit () =
 let test_inconsistent_targets_rejected () =
   let s =
     Rdt_scenarios.Script.create ~n:2
-      ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:false
+      ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:false ()
   in
   let module Script = Rdt_scenarios.Script in
   Script.transfer s ~src:0 ~dst:1;
@@ -171,7 +171,7 @@ let prop_archive_tracking_survives_gc =
 let test_archive_truncated_on_rollback () =
   let module Script = Rdt_scenarios.Script in
   let s =
-    Script.create ~n:2 ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:false
+    Script.create ~n:2 ~protocol:Rdt_protocols.Protocol.fdas ~with_lgc:false ()
   in
   Script.checkpoint s 0;
   Script.checkpoint s 0;

@@ -143,6 +143,65 @@ let prop_reach_monotone =
           go 0 true)
         (List.init n Fun.id))
 
+(* The zigzag relation is a function of the checkpoint-and-communication
+   pattern, not of the particular linearization the trace happened to
+   record.  Replay the events of a random trace in a different but still
+   causal-order-preserving interleaving (per-process order kept, every
+   receive after its send) and the analysis must not move. *)
+let causal_shuffle ~seed trace =
+  let module Trace = Rdt_ccp.Trace in
+  let rng = Rdt_sim.Prng.create ~seed in
+  let n = Trace.n trace in
+  let queues =
+    Array.init n (fun pid -> ref (Trace.events_of trace ~pid))
+  in
+  let sent = Hashtbl.create 64 in
+  let out = Trace.create ~n in
+  let total = List.length (Trace.all_events trace) in
+  for _ = 1 to total do
+    let ready =
+      List.filter
+        (fun pid ->
+          match !(queues.(pid)) with
+          | [] -> false
+          | e :: _ -> (
+            match e.Trace.kind with
+            | Trace.Receive { msg_id; _ } -> Hashtbl.mem sent msg_id
+            | Trace.Checkpoint _ | Trace.Send _ -> true))
+        (List.init n Fun.id)
+    in
+    (* the recorded order itself is causal, so some head is always ready *)
+    let pid = List.nth ready (Rdt_sim.Prng.int rng (List.length ready)) in
+    match !(queues.(pid)) with
+    | [] -> assert false
+    | e :: rest ->
+      queues.(pid) := rest;
+      (match e.Trace.kind with
+      | Trace.Checkpoint { index } -> Trace.record_checkpoint out ~pid ~index
+      | Trace.Send { msg_id; dst } ->
+        Hashtbl.replace sent msg_id ();
+        Trace.record_send out ~pid ~msg_id ~dst
+      | Trace.Receive { msg_id; src } ->
+        Trace.record_receive out ~pid ~msg_id ~src)
+  done;
+  out
+
+let prop_reorder_invariance =
+  QCheck.Test.make
+    ~name:"zigzag analysis invariant under causal reorderings" ~count:40
+    QCheck.(make Gen.(pair (int_bound 10_000) (int_range 2 5)))
+    (fun (seed, n) ->
+      let trace = Helpers.random_trace ~seed ~n ~ops:60 in
+      let ccp = Ccp.of_trace trace in
+      let ccp' = Ccp.of_trace (causal_shuffle ~seed:(seed lxor 0x5a5a) trace) in
+      let key (c : Ccp.ckpt) = (c.pid, c.index) in
+      List.sort compare (List.map key (Zigzag.useless ccp))
+      = List.sort compare (List.map key (Zigzag.useless ccp'))
+      && List.for_all
+           (fun (c : Ccp.ckpt) ->
+             Zigzag.reach ccp ~src:c = Zigzag.reach ccp' ~src:c)
+           (Ccp.checkpoints ccp))
+
 let suite =
   [
     Alcotest.test_case "figure 1 classifications" `Quick
@@ -160,4 +219,5 @@ let suite =
     Alcotest.test_case "reach shape" `Quick test_reach_shape;
     QCheck_alcotest.to_alcotest prop_causal_implies_zigzag;
     QCheck_alcotest.to_alcotest prop_reach_monotone;
+    QCheck_alcotest.to_alcotest prop_reorder_invariance;
   ]
