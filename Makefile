@@ -1,4 +1,4 @@
-.PHONY: all build test bench figures eval micro smoke bench-json perf perf-smoke fuzz-smoke examples clean
+.PHONY: all build test lint bench figures eval micro smoke bench-json perf perf-smoke fuzz-smoke examples clean
 
 all: build
 
@@ -7,6 +7,11 @@ build:
 
 test:
 	dune runtest
+
+# typed-AST project invariants (lib/lint, DESIGN.md §12); fails on any
+# fresh finding not covered by lint_baseline.txt
+lint:
+	dune build @lint
 
 # parallelism for the experiment harness: JOBS=0 uses every core
 JOBS ?= 1

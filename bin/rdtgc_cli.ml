@@ -562,6 +562,72 @@ let fuzz_cmd =
       const do_fuzz $ seed_arg $ runs_arg $ max_procs_arg $ shrink_arg
       $ corpus_arg $ mutate_arg $ replay_arg $ quiet_arg)
 
+(* --- lint ---------------------------------------------------------------- *)
+
+let do_lint root dirs baseline json update_baseline output =
+  let baseline_file =
+    match baseline with
+    | Some f -> Some f
+    | None ->
+      (* pick up the committed baseline when run from a checkout *)
+      let cand = Filename.concat root "lint_baseline.txt" in
+      if Sys.file_exists cand then Some cand else None
+  in
+  let opts =
+    {
+      Rdt_lint.Lint.root;
+      dirs = (match dirs with [] -> [ "lib" ] | ds -> ds);
+      baseline_file;
+      json;
+      update_baseline;
+      output;
+    }
+  in
+  exit (Rdt_lint.Lint.run opts)
+
+let lint_cmd =
+  let doc =
+    "Project-invariant static analysis over the typed AST (.cmt files): \
+     determinism (no wall clocks, self-seeded RNGs, stray Domain.spawn or \
+     hash-order iteration), zero-allocation hot paths \
+     ($(b,[@@@lint.zero_alloc_hot])), unsafe-op hygiene \
+     ($(b,[@@lint.bounds_checked]) + file allowlist) and polymorphic \
+     compare at non-scalar types.  Suppress per site with $(b,[@lint.allow \
+     \"rule-id\" \"justification\"]).  Exit 1 iff there are findings not \
+     covered by the baseline."
+  in
+  let root_arg =
+    Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR"
+           ~doc:"Project root; .cmt files are searched under \
+                 $(docv)/_build/default, or $(docv) itself when already \
+                 inside a build tree.")
+  in
+  let dir_arg =
+    Arg.(value & opt_all string [] & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Directory (relative to the build root) to scan; repeatable. \
+                 Default: lib.")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Baseline file of known-finding fingerprints (default: \
+                 ROOT/lint_baseline.txt when present).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.")
+  in
+  let update_arg =
+    Arg.(value & flag & info [ "update-baseline" ]
+           ~doc:"Rewrite the baseline file with the current findings.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Also write the report to $(docv) (e.g. a CI artifact).")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const do_lint $ root_arg $ dir_arg $ baseline_arg $ json_arg
+      $ update_arg $ output_arg)
+
 let () =
   let doc =
     "RDT-LGC: optimal asynchronous garbage collection for RDT checkpointing \
@@ -580,4 +646,5 @@ let () =
             figure4_cmd;
             protocols_cmd;
             fuzz_cmd;
+            lint_cmd;
           ]))

@@ -1,3 +1,11 @@
+(* The named functions below are the middleware's per-message hot path;
+   rdt_lint checks them against alloc/* (see DESIGN.md §12) so that
+   BENCH_micro's allocs_per_run = 0 stays true by construction. *)
+[@@@lint.zero_alloc_hot
+  "blit_into" "max_into" "compare_le" "iteri" "merge_from_message_iter"
+  "newer_entries_iter" "has_newer_entries" "equal" "last_known"
+  "checkpoint_precedes" "get" "set" "increment"]
+
 type t = int array
 
 let create ~n =
@@ -29,19 +37,25 @@ let max_into ~src ~dst =
     let s = Array.unsafe_get src j in
     if s > Array.unsafe_get dst j then Array.unsafe_set dst j s
   done
+[@@lint.bounds_checked]
+
+(* The recursive scans are top-level (not local closures): a local
+   [let rec loop] capturing the vectors costs a 5-word closure per call,
+   which the alloc/closure rule rejects in this module. *)
+let rec le_from a b j =
+  j >= Array.length a
+  || (Array.unsafe_get a j <= Array.unsafe_get b j && le_from a b (j + 1))
+[@@lint.bounds_checked]
 
 let compare_le a b =
   check_arity ~op:"compare_le" a b;
-  let rec loop j =
-    j >= Array.length a
-    || (Array.unsafe_get a j <= Array.unsafe_get b j && loop (j + 1))
-  in
-  loop 0
+  le_from a b 0
 
 let iteri t ~f =
   for j = 0 to Array.length t - 1 do
     f j (Array.unsafe_get t j)
   done
+[@@lint.bounds_checked]
 
 let merge_from_message_iter t m ~f =
   check_arity ~op:"merge_from_message" t m;
@@ -52,6 +66,7 @@ let merge_from_message_iter t m ~f =
       f j
     end
   done
+[@@lint.bounds_checked]
 
 let merge_from_message t m =
   let changed = ref [] in
@@ -63,25 +78,33 @@ let newer_entries_iter ~local ~incoming ~f =
   for j = 0 to Array.length local - 1 do
     if Array.unsafe_get incoming j > Array.unsafe_get local j then f j
   done
+[@@lint.bounds_checked]
 
 let newer_entries ~local ~incoming =
   let changed = ref [] in
   newer_entries_iter ~local ~incoming ~f:(fun j -> changed := j :: !changed);
   List.rev !changed
 
+let rec newer_from ~local ~incoming j =
+  j < Array.length local
+  && (Array.unsafe_get incoming j > Array.unsafe_get local j
+     || newer_from ~local ~incoming (j + 1))
+[@@lint.bounds_checked]
+
 let has_newer_entries ~local ~incoming =
   check_arity ~op:"newer_entries" local incoming;
-  let rec loop j =
-    j < Array.length local
-    && (Array.unsafe_get incoming j > Array.unsafe_get local j || loop (j + 1))
-  in
-  loop 0
+  newer_from ~local ~incoming 0
 
 let last_known t j = t.(j) - 1
 
 let checkpoint_precedes ~index ~of_ dv_beta = index < dv_beta.(of_)
 
-let equal a b = a = b
+let rec eq_from a b j =
+  j >= Array.length a
+  || (Array.unsafe_get a j = Array.unsafe_get b j && eq_from a b (j + 1))
+[@@lint.bounds_checked]
+
+let equal a b = Array.length a = Array.length b && eq_from a b 0
 let to_array = Array.copy
 let of_array = Array.copy
 let view t = t

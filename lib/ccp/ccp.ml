@@ -171,7 +171,7 @@ let vc_entry t c j = Vector_clock.get (vc t c) j
 let precedes t c1 c2 =
   if not (mem t c1 && mem t c2) then
     invalid_arg "Ccp.precedes: checkpoint not in CCP";
-  if c1 = c2 then false
+  if c1.pid = c2.pid && c1.index = c2.index then false
   else if is_volatile t c1 then false
   else
     (* event test: e -> f iff VC(e).(proc e) <= VC(f).(proc e) *)

@@ -24,7 +24,7 @@ let violations ?(limit = max_int) ccp =
   List.iter check_source ckpts;
   List.rev !acc
 
-let holds ccp = violations ~limit:1 ccp = []
+let holds ccp = List.is_empty (violations ~limit:1 ccp)
 
 let pp_violation ppf { source; target } =
   Format.fprintf ppf "%a ~~> %a but %a -/-> %a" Ccp.pp_ckpt source Ccp.pp_ckpt

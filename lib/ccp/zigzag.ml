@@ -129,7 +129,7 @@ let classify_sequence_from a ~(from_ : Ccp.ckpt) ~(to_ : Ccp.ckpt) msg_ids =
   let lookup id = Hashtbl.find_opt a.a_by_id id in
   match List.map lookup msg_ids with
   | [] -> Not_a_path
-  | maybe_msgs when List.exists (fun m -> m = None) maybe_msgs -> Not_a_path
+  | maybe_msgs when List.exists Option.is_none maybe_msgs -> Not_a_path
   | maybe_msgs ->
     let msgs =
       List.map

@@ -150,7 +150,10 @@ let apply_collect t pid indices =
     indices
 
 let finish_round t round =
-  let members = List.sort compare t.rounds.replies in
+  (* one reply per pid, so ordering by pid alone is total *)
+  let members =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) t.rounds.replies
+  in
   let participants = Array.of_list (List.map fst members) in
   let snaps = Array.of_list (List.map snd members) in
   (* The computations below see only the participants' state.  With a
@@ -171,7 +174,7 @@ let finish_round t round =
     Array.iteri
       (fun pos pid ->
         let indices = plan pos in
-        if indices <> [] then
+        if not (List.is_empty indices) then
           if pid = coordinator then apply_collect t pid indices
           else
             control_send t ~src:coordinator ~dst:pid
@@ -334,7 +337,8 @@ let create (cfg : Sim_config.t) =
               ~dir:(Filename.concat dir (Printf.sprintf "p%d" me))
               ()
           in
-          if (Log_store.recovery ls).Log_store.recovered <> [] then
+          if not (List.is_empty (Log_store.recovery ls).Log_store.recovered)
+          then
             invalid_arg
               (Printf.sprintf
                  "Runner.create: store directory %s already holds \

@@ -84,7 +84,11 @@ let validate t =
   List.iter check_fault t.faults;
   (* reject overlapping fault windows for the same process *)
   let sorted =
-    List.sort (fun a b -> compare (a.pid, a.crash_at) (b.pid, b.crash_at))
+    List.sort
+      (fun a b ->
+        match Int.compare a.pid b.pid with
+        | 0 -> Float.compare a.crash_at b.crash_at
+        | c -> c)
       t.faults
   in
   let rec overlap = function

@@ -96,6 +96,7 @@ let receive t (m : Control.t) ~now =
       Array.unsafe_set t.dv j mj
     end
   done
+[@@lint.bounds_checked]
 
 let forced_count t = t.forced_count
 let basic_count t = t.basic_count

@@ -1,0 +1,68 @@
+(* The baseline is a committed text file of finding fingerprints
+   (Finding.fingerprints), one per line, '#' comments allowed.  Findings
+   whose fingerprint appears in the baseline are reported as baselined and
+   do not fail the build, which is what lets the pass land strict only for
+   new code.  The policy for this repo is an empty baseline: fix or
+   [@lint.allow] everything instead. *)
+
+type t = { entries : string list }
+
+let empty = { entries = [] }
+
+let load path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 0 && line.[0] <> '#' then
+           entries := line :: !entries
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some { entries = List.rev !entries }
+  end
+
+let save path findings =
+  let oc = open_out path in
+  output_string oc
+    "# rdt_lint baseline: one finding fingerprint per line.\n\
+     # Regenerate with `rdtgc_cli lint --update-baseline`; the project\n\
+     # policy is to keep this file empty (fix or [@lint.allow] instead).\n";
+  List.iter
+    (fun fp ->
+      output_string oc fp;
+      output_char oc '\n')
+    (Finding.fingerprints findings);
+  close_out oc
+
+(* Split findings into (new, baselined, stale-entries).  Each baseline
+   entry absorbs at most one finding. *)
+let apply t findings =
+  let remaining = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let n =
+        match Hashtbl.find_opt remaining e with None -> 0 | Some n -> n
+      in
+      Hashtbl.replace remaining e (n + 1))
+    t.entries;
+  let fresh = ref [] and baselined = ref [] in
+  List.iter2
+    (fun f fp ->
+      match Hashtbl.find_opt remaining fp with
+      | Some n when n > 0 ->
+        Hashtbl.replace remaining fp (n - 1);
+        baselined := f :: !baselined
+      | _ -> fresh := f :: !fresh)
+    (Finding.sort findings)
+    (Finding.fingerprints findings);
+  let stale =
+    Hashtbl.fold
+      (fun e n acc -> if n > 0 then e :: acc else acc)
+      remaining []
+    |> List.sort String.compare
+  in
+  (List.rev !fresh, List.rev !baselined, stale)

@@ -1,0 +1,13 @@
+(** Committed fingerprint baseline: lets the lint land strict for new
+    code while known findings are burned down. *)
+
+type t = { entries : string list }
+
+val empty : t
+val load : string -> t option
+val save : string -> Finding.t list -> unit
+
+val apply : t -> Finding.t list -> Finding.t list * Finding.t list * string list
+(** [apply t findings] is [(fresh, baselined, stale)]: findings not in the
+    baseline, findings absorbed by it, and baseline entries that matched
+    nothing (candidates for deletion). *)

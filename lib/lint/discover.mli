@@ -1,0 +1,14 @@
+(** Robust .cmt discovery across source-checkout, in-build and sandboxed
+    layouts. *)
+
+type result = {
+  cmts : string list;
+  load_dirs : string list;
+  warnings : string list;
+}
+
+val build_root : root:string -> string
+(** [<root>/_build/default] when it exists, else [root] itself (the case
+    when the caller already runs inside the build tree). *)
+
+val find_cmts : root:string -> dirs:string list -> result

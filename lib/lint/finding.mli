@@ -1,0 +1,26 @@
+(** A single diagnostic produced by the lint engine. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  context : string;
+  message : string;
+}
+
+val severity_label : severity -> string
+val compare_by_site : t -> t -> int
+val sort : t list -> t list
+
+val fingerprints : t list -> string list
+(** Line-number-independent identities used by the baseline file, in the
+    same order as [sort]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_json : t -> string
+val json_escape : string -> string

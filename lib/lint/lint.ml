@@ -1,0 +1,78 @@
+(* Top-level driver: discover cmts, initialise the compiler's load path,
+   scan, apply the baseline, render.  Exit status 0 unless there are
+   fresh error-severity findings (or --update-baseline rewrote the
+   file). *)
+
+type options = {
+  root : string;
+  dirs : string list;
+  baseline_file : string option;
+  json : bool;
+  update_baseline : bool;
+  output : string option;  (* write the report here as well as stdout *)
+}
+
+let default_options =
+  {
+    root = ".";
+    dirs = [ "lib" ];
+    baseline_file = None;
+    json = false;
+    update_baseline = false;
+    output = None;
+  }
+
+let scan ?(cfg = Lint_config.default) ~root ~dirs () =
+  let d = Discover.find_cmts ~root ~dirs in
+  Lint_compat.init_load_path d.load_dirs;
+  Envaux.reset_cache ();
+  let scans = ref Engine.empty_scan in
+  let warnings = ref d.warnings in
+  List.iter
+    (fun cmt ->
+      match Engine.scan_cmt ~cfg cmt with
+      | Engine.Scanned (_, s) -> scans := Engine.merge !scans s
+      | Engine.Skipped w -> warnings := w :: !warnings)
+    d.cmts;
+  ( {
+      Engine.findings = Finding.sort !scans.findings;
+      suppressed = !scans.suppressed;
+    },
+    List.rev !warnings )
+
+let run ?(cfg = Lint_config.default) opts =
+  let scans, warns = scan ~cfg ~root:opts.root ~dirs:opts.dirs () in
+  let all_findings = scans.Engine.findings in
+  let baseline =
+    match opts.baseline_file with
+    | None -> Baseline.empty
+    | Some path -> Option.value (Baseline.load path) ~default:Baseline.empty
+  in
+  let fresh, baselined, stale = Baseline.apply baseline all_findings in
+  let summary =
+    {
+      Report.findings = fresh;
+      baselined;
+      suppressed = scans.Engine.suppressed;
+      stale_baseline = stale;
+      warnings = warns;
+    }
+  in
+  if opts.update_baseline then begin
+    match opts.baseline_file with
+    | Some path -> Baseline.save path all_findings
+    | None -> ()
+  end;
+  let render ppf =
+    if opts.json then Report.json ppf summary else Report.text ppf summary
+  in
+  render Format.std_formatter;
+  (match opts.output with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     let ppf = Format.formatter_of_out_channel oc in
+     render ppf;
+     Format.pp_print_flush ppf ();
+     close_out oc);
+  if Report.ok summary then 0 else 1

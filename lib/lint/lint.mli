@@ -1,0 +1,23 @@
+(** Driver for the whole pass: discovery, scan, baseline, report. *)
+
+type options = {
+  root : string;
+  dirs : string list;
+  baseline_file : string option;
+  json : bool;
+  update_baseline : bool;
+  output : string option;
+}
+
+val default_options : options
+
+val scan :
+  ?cfg:Lint_config.t -> root:string -> dirs:string list -> unit ->
+  Engine.scan * string list
+(** Discovery + scan without baseline or rendering: the findings and the
+    discovery/skip warnings.  test_lint.ml drives the fixtures with
+    this. *)
+
+val run : ?cfg:Lint_config.t -> options -> int
+(** Returns the process exit status: 0 when clean (possibly with
+    warnings about missing artefacts), 1 on fresh error findings. *)

@@ -1,0 +1,47 @@
+(* Scopes are matched against the compilation unit's source path as the
+   compiler recorded it (relative to the build root, forward slashes), so
+   the same config works from a source checkout, from _build/default and
+   from dune's sandboxes. *)
+
+type t = {
+  lib_prefixes : string list;
+      (* determinism, unsafe and polycmp rules apply here *)
+  parallel_prefixes : string list;  (* Domain.spawn is legal here *)
+  hashtbl_det_prefixes : string list;
+      (* order-dependent Hashtbl iteration is banned here *)
+  unsafe_allowlist : string list;
+      (* files where annotated unsafe indexing is legal *)
+}
+
+let default =
+  {
+    lib_prefixes = [ "lib/" ];
+    parallel_prefixes = [ "lib/parallel/" ];
+    hashtbl_det_prefixes = [ "lib/sim/"; "lib/verify/"; "lib/scenarios/" ];
+    unsafe_allowlist =
+      [
+        "lib/causality/dependency_vector.ml";
+        "lib/sim/event_queue.ml";
+        "lib/store/crc32.ml";
+        "lib/gc/merged_fdas.ml";
+      ];
+  }
+
+let normalize_path p =
+  String.map (fun c -> if c = '\\' then '/' else c) p
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let matches prefixes path =
+  let path = normalize_path path in
+  List.exists (fun prefix -> has_prefix ~prefix path) prefixes
+
+let in_lib t path = matches t.lib_prefixes path
+let in_parallel t path = matches t.parallel_prefixes path
+let in_hashtbl_det t path = matches t.hashtbl_det_prefixes path
+
+let unsafe_allowed t path =
+  let path = normalize_path path in
+  List.exists (fun f -> String.equal f path) t.unsafe_allowlist

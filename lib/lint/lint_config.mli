@@ -1,0 +1,21 @@
+(** Path-based rule scoping.  All matching is on the source path recorded
+    in the .cmt (relative to the build root). *)
+
+type t = {
+  lib_prefixes : string list;
+  parallel_prefixes : string list;
+  hashtbl_det_prefixes : string list;
+  unsafe_allowlist : string list;
+}
+
+val default : t
+(** The project policy: everything under [lib/] is in scope; Domain.spawn
+    only in [lib/parallel/]; Hashtbl iteration order matters in
+    [lib/sim/], [lib/verify/] and [lib/scenarios/]; unsafe indexing only
+    in the allowlisted files. *)
+
+val normalize_path : string -> string
+val in_lib : t -> string -> bool
+val in_parallel : t -> string -> bool
+val in_hashtbl_det : t -> string -> bool
+val unsafe_allowed : t -> string -> bool

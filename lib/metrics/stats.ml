@@ -43,7 +43,7 @@ let of_list l =
   t
 
 let percentile l ~p =
-  if l = [] then invalid_arg "Stats.percentile: empty list";
+  if List.is_empty l then invalid_arg "Stats.percentile: empty list";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = List.sort compare l in
   let arr = Array.of_list sorted in

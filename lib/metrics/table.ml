@@ -8,7 +8,7 @@ type t = {
 }
 
 let create ~columns =
-  if columns = [] then invalid_arg "Table.create: no columns";
+  if List.is_empty columns then invalid_arg "Table.create: no columns";
   { columns; rev_rows = [] }
 
 let add_row t cells =

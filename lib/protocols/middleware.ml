@@ -2,6 +2,12 @@ module Dependency_vector = Rdt_causality.Dependency_vector
 module Stable_store = Rdt_storage.Stable_store
 module Trace = Rdt_ccp.Trace
 
+(* [receive] runs once per delivered message and must not allocate (its
+   DV merge is in place and the hook is passed by field projection, not a
+   closure); rdt_lint enforces this.  Checkpoint/rollback paths allocate
+   freely — they are store-boundary events, not the hot loop. *)
+[@@@lint.zero_alloc_hot "receive" "evolve_state"]
+
 type hooks = {
   on_new_dependency : int -> unit;
   on_checkpoint_stored : int -> unit;

@@ -4,7 +4,7 @@ module Global_gc = Rdt_gc.Global_gc
 module Stable_store = Rdt_storage.Stable_store
 
 let check_faulty ~n faulty =
-  if faulty = [] then invalid_arg "Recovery_line: empty faulty set";
+  if List.is_empty faulty then invalid_arg "Recovery_line: empty faulty set";
   List.iter
     (fun f ->
       if f < 0 || f >= n then invalid_arg "Recovery_line: bad faulty pid")

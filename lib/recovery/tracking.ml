@@ -102,7 +102,11 @@ let build v targets ~component =
     not
       (List.for_all
          (fun a ->
-           List.for_all (fun b -> a = b || consistent_pair_v v a b) targets)
+           List.for_all
+             (fun b ->
+               (a.pid = b.pid && a.index = b.index)
+               || consistent_pair_v v a b)
+             targets)
          targets)
   then None
   else begin

@@ -91,7 +91,7 @@ let drop t msg =
 let alive t msg = (not msg.delivered) && (not msg.dead) && List.memq msg t.in_flight
 
 let crash t ~faulty =
-  if faulty = [] then invalid_arg "Script.crash: empty faulty set";
+  if List.is_empty faulty then invalid_arg "Script.crash: empty faulty set";
   List.iter
     (fun pid ->
       if pid < 0 || pid >= t.n then invalid_arg "Script.crash: bad pid")

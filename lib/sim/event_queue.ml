@@ -10,6 +10,14 @@
    sequence number, so a handle that outlives its entry — fired, recycled
    and reused for a later event — can never cancel the wrong event. *)
 
+(* Scheduling and firing are the simulator's inner loop; rdt_lint holds
+   the named functions to alloc/* so the pool actually delivers its
+   zero-allocation steady state ([add] and [pop] box their results and
+   are deliberately outside the hot set). *)
+[@@@lint.zero_alloc_hot
+  "before" "swap" "sift_up" "sift_down" "grow" "recycle" "add_entry"
+  "add_unit" "cancel"]
+
 type 'a entry = {
   mutable time : float;
   mutable seq : int;
@@ -58,19 +66,23 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  let smallest = if l < t.size && before t.data.(l) t.data.(i) then l else i in
+  let smallest =
+    if r < t.size && before t.data.(r) t.data.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
   end
 
 let grow t entry =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
     let new_capacity = max 16 (2 * capacity) in
-    let data = Array.make new_capacity entry in
+    let data =
+      (Array.make new_capacity entry
+       [@lint.allow "alloc" "amortized doubling; absent from steady state"])
+    in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -78,7 +90,10 @@ let grow t entry =
 let recycle t entry =
   entry.live <- false;
   if t.free_size = Array.length t.free then begin
-    let free = Array.make (max 16 (2 * t.free_size)) entry in
+    let free =
+      (Array.make (max 16 (2 * t.free_size)) entry
+       [@lint.allow "alloc" "amortized doubling; absent from steady state"])
+    in
     Array.blit t.free 0 free 0 t.free_size;
     t.free <- free
   end;
@@ -96,7 +111,9 @@ let add_entry t ~time value =
       entry.live <- true;
       entry
     end
-    else { time; seq = t.next_seq; value; live = true }
+    else
+      ({ time; seq = t.next_seq; value; live = true }
+       [@lint.allow "alloc" "pool miss; steady-state adds reuse a pooled entry"])
   in
   t.next_seq <- t.next_seq + 1;
   grow t entry;

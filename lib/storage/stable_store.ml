@@ -117,7 +117,7 @@ let truncate_above t ~index =
     doomed;
   (* one truncation record, not one tombstone per checkpoint: a rollback
      is a single durable event *)
-  if doomed <> [] then
+  if not (List.is_empty doomed) then
     (match t.backend with Some b -> b.b_truncate_above ~index | None -> ());
   List.length doomed
 

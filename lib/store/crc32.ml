@@ -13,6 +13,7 @@ let table =
          done;
          !c))
 
+(* callers ([bytes]) validate pos/len before entering the byte loop *)
 let update crc b ~pos ~len =
   let table = Lazy.force table in
   let crc = ref crc in
@@ -22,6 +23,7 @@ let update crc b ~pos ~len =
     crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
   done;
   !crc
+[@@lint.bounds_checked]
 
 let bytes b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then

@@ -303,9 +303,14 @@ let garbage t =
 
 let arm_compaction_crash t point = t.compact_crash <- Some point
 
+let same_point a b =
+  match (a, b) with
+  | `After_seal, `After_seal | `After_rewrite, `After_rewrite -> true
+  | (`After_seal | `After_rewrite), _ -> false
+
 let maybe_compaction_crash t point =
   match t.compact_crash with
-  | Some p when p = point ->
+  | Some p when same_point p point ->
     t.compact_crash <- None;
     t.poisoned <- true;
     t.active <- None;
@@ -320,7 +325,7 @@ let compact_sealed t =
     Hashtbl.fold (fun _ info acc -> if info.sealed then info :: acc else acc)
       t.segs []
   in
-  if sealed <> [] then begin
+  if not (List.is_empty sealed) then begin
     let movers =
       Hashtbl.fold
         (fun _ r acc -> if r.lr_seg.sealed then r :: acc else acc)
@@ -331,7 +336,7 @@ let compact_sealed t =
     (* Rewrite the survivors (at most n+1 of them, by the paper's bound)
        into one fresh sealed segment, with fresh LSNs so replay
        linearizes the rewrite after everything it superseded. *)
-    if movers <> [] then begin
+    if not (List.is_empty movers) then begin
       let id = t.next_seg_id in
       t.next_seg_id <- id + 1;
       let w = Segment.create_writer ~path:(seg_path t id) in
@@ -421,7 +426,7 @@ let truncate_above t ~index =
       (fun idx rec_ acc -> if idx > index then rec_ :: acc else acc)
       t.live []
   in
-  if doomed <> [] then begin
+  if not (List.is_empty doomed) then begin
     List.iter (kill t) doomed;
     let frame_bytes, info =
       append_record t (fun lsn ->

@@ -14,7 +14,7 @@ type report = {
   corpus_failed : int;
 }
 
-let passed r = r.failures = [] && r.corpus_failed = 0
+let passed r = List.is_empty r.failures && r.corpus_failed = 0
 
 (* Output discipline: every logged line is a pure function of the
    arguments (seeds, scenarios, verdicts) — no timestamps, no absolute
@@ -42,7 +42,8 @@ let replay_corpus ~mutate_lgc ~log ?scratch_dir dir =
         | Ok sc ->
           let r = Harness.run ~mutate_lgc ?scratch_dir sc in
           log (Printf.sprintf "corpus %s: %s" file (verdict_of r));
-          (seen + 1, if r.Harness.violations = [] then failed else failed + 1))
+          ( seen + 1,
+            if List.is_empty r.Harness.violations then failed else failed + 1 ))
       (0, 0) files
   end
 

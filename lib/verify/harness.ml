@@ -99,8 +99,15 @@ let by_index l =
       compare a.index b.index)
     l
 
+let int_array_eq a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
 let entry_eq (a : Stable_store.entry) (b : Stable_store.entry) =
-  a.index = b.index && a.dv = b.dv && a.taken_at = b.taken_at
+  a.index = b.index && int_array_eq a.dv b.dv && a.taken_at = b.taken_at
   && a.size_bytes = b.size_bytes && a.payload = b.payload
 
 let set_eq a b =
@@ -123,7 +130,7 @@ let run ?(mutate_lgc = false) ?scratch_dir (scenario : Scenario.t) =
   let executed = ref 0 in
   let push vs =
     violations := !violations @ vs;
-    if !violations <> [] then raise Stopped
+    if not (List.is_empty !violations) then raise Stopped
   in
   let root =
     match scratch_dir with Some d -> d | None -> default_scratch ()
@@ -230,7 +237,8 @@ let run ?(mutate_lgc = false) ?scratch_dir (scenario : Scenario.t) =
     let incr = Ccp.Incremental.of_trace (Script.trace script) in
     let msgs = Hashtbl.create 64 in
     let exact () =
-      sc.knowledge = `Causal || Script.crash_count script = 0
+      (match sc.knowledge with `Causal -> true | `Global -> false)
+      || Script.crash_count script = 0
     in
     let quiescent i =
       push

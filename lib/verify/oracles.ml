@@ -16,7 +16,14 @@ let pp_violation ppf v =
   Fmt.pf ppf "%s oracle violated after op %d: %s" v.oracle v.op v.detail
 
 let ints l = String.concat "," (List.map string_of_int l)
-let sorted l = List.sort compare l
+let sorted l = List.sort Int.compare l
+
+let int_array_eq a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
 (* --- per-op checks (post-event quiescence) ----------------------------- *)
 
@@ -65,7 +72,8 @@ let quiescent ~script ~ccp ~exact ~op =
              retain only {%s})"
             pid index (ints causal))
       retained;
-    if exact && sorted retained <> sorted causal then
+    if exact && not (List.equal Int.equal (sorted retained) (sorted causal))
+    then
       add "optimality"
         "p%d retains {%s}, causal knowledge dictates exactly {%s}" pid
         (ints retained) (ints causal)
@@ -107,7 +115,7 @@ let quiescent ~script ~ccp ~exact ~op =
         | None -> ()
         | Some gamma ->
           let got = Rdt_lgc.retained_because_of lgc f in
-          if got <> Some gamma then
+          if not (Option.equal Int.equal got (Some gamma)) then
             add "invariant" "p%d must hold UC[%d] = s^%d, found %s" pid f gamma
               (match got with None -> "Null" | Some g -> string_of_int g)
       done
@@ -168,7 +176,7 @@ let crash ~ccp_before ~(report : Session.report) ~op =
     Printf.ksprintf (fun detail -> vs := { oracle; op; detail } :: !vs) fmt
   in
   let expected = Recovery_line.lemma1 ccp_before ~faulty:report.faulty in
-  if report.line <> expected then
+  if not (int_array_eq report.line expected) then
     add "recovery-line"
       "session line (%s) for faulty={%s} differs from lemma-1 line (%s)"
       (ints (Array.to_list report.line))

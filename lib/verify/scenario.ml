@@ -27,11 +27,34 @@ type t = {
 
 let op_count t = List.length t.ops
 
+let op_equal a b =
+  match (a, b) with
+  | Checkpoint a, Checkpoint b -> a = b
+  | Send a, Send b -> a.id = b.id && a.src = b.src && a.dst = b.dst
+  | Deliver a, Deliver b | Drop a, Drop b -> a = b
+  | Crash a, Crash b -> List.equal Int.equal a b
+  | (Checkpoint _ | Send _ | Deliver _ | Drop _ | Crash _), _ -> false
+
+let knowledge_equal a b =
+  match (a, b) with
+  | `Global, `Global | `Causal, `Causal -> true
+  | (`Global | `Causal), _ -> false
+
+let store_fault_equal a b =
+  a.fault_pid = b.fault_pid && a.fault_op = b.fault_op
+  && (match (a.fault_kind, b.fault_kind) with
+     | Fault.Short_write, Fault.Short_write
+     | Crash_before_sync, Crash_before_sync
+     | Bit_flip, Bit_flip -> true
+     | (Fault.Short_write | Crash_before_sync | Bit_flip), _ -> false)
+
 let equal a b =
   a.seed = b.seed && a.n = b.n
   && a.protocol.Protocol.id = b.protocol.Protocol.id
-  && a.knowledge = b.knowledge && a.durable = b.durable
-  && a.store_fault = b.store_fault && a.ops = b.ops
+  && knowledge_equal a.knowledge b.knowledge
+  && a.durable = b.durable
+  && Option.equal store_fault_equal a.store_fault b.store_fault
+  && List.equal op_equal a.ops b.ops
 
 (* --- static normalization --------------------------------------------- *)
 
@@ -40,7 +63,12 @@ let equal a b =
    set, out-of-range pids disappear.  Shrinking removes ops blindly and
    relies on this to restore well-formedness. *)
 let normalize sc =
-  let alive = Hashtbl.create 64 in
+  (* [seen]: every message id ever sent (ids are never reused); [inflight]:
+     sent but not yet delivered/dropped/flushed by a crash.  Two tables so a
+     crash can clear the in-flight set without Hashtbl iteration, whose
+     order rdt_lint (det/hashtbl-order) bans in this library. *)
+  let seen = Hashtbl.create 64 in
+  let inflight = Hashtbl.create 64 in
   let valid p = p >= 0 && p < sc.n in
   let ops =
     List.filter_map
@@ -48,25 +76,25 @@ let normalize sc =
         match op with
         | Checkpoint p -> if valid p then Some op else None
         | Send { id; src; dst } ->
-          if valid src && valid dst && src <> dst && not (Hashtbl.mem alive id)
+          if valid src && valid dst && src <> dst && not (Hashtbl.mem seen id)
           then begin
-            Hashtbl.replace alive id true;
+            Hashtbl.replace seen id ();
+            Hashtbl.replace inflight id ();
             Some op
           end
           else None
         | Deliver id | Drop id ->
-          if Hashtbl.find_opt alive id = Some true then begin
-            Hashtbl.replace alive id false;
+          if Hashtbl.mem inflight id then begin
+            Hashtbl.remove inflight id;
             Some op
           end
           else None
         | Crash faulty ->
-          let faulty = List.sort_uniq compare (List.filter valid faulty) in
-          if faulty = [] then None
+          let faulty = List.sort_uniq Int.compare (List.filter valid faulty) in
+          if List.is_empty faulty then None
           else begin
             (* a recovery session discards every in-flight message *)
-            Hashtbl.iter (fun id _ -> Hashtbl.replace alive id false)
-              (Hashtbl.copy alive);
+            Hashtbl.reset inflight;
             Some (Crash faulty)
           end)
       sc.ops
@@ -92,7 +120,7 @@ let remove_process sc pid =
               List.filter_map (fun p -> if p = pid then None else Some (remap p))
                 faulty
             in
-            if faulty = [] then None else Some (Crash faulty))
+            if List.is_empty faulty then None else Some (Crash faulty))
         sc.ops
     in
     let store_fault =
@@ -159,7 +187,7 @@ let gen_direct rng ~seed ~max_procs =
       pending := !pending @ [ id ];
       ops := Send { id; src; dst = dst_of src } :: !ops
     end
-    else if roll < 70 && !pending <> [] then begin
+    else if roll < 70 && not (List.is_empty !pending) then begin
       let id =
         if Prng.bernoulli rng ~p:fifo_bias then List.hd !pending
         else List.nth !pending (Prng.int rng (List.length !pending))
@@ -167,7 +195,7 @@ let gen_direct rng ~seed ~max_procs =
       ops := Deliver (take_pending id) :: !ops
     end
     else if roll < 88 then ops := Checkpoint (Prng.int rng n) :: !ops
-    else if roll < 94 && !pending <> [] then begin
+    else if roll < 94 && not (List.is_empty !pending) then begin
       let id = List.nth !pending (Prng.int rng (List.length !pending)) in
       ops := Drop (take_pending id) :: !ops
     end
@@ -347,7 +375,7 @@ let of_string s =
     let fail fmt = Printf.ksprintf (fun m -> bad := Some m) fmt in
     List.iter
       (fun line ->
-        if !bad <> None || !ended then ()
+        if Option.is_some !bad || !ended then ()
         else if not !in_ops then begin
           match String.split_on_char ' ' line with
           | [ "seed"; v ] -> (
@@ -409,7 +437,7 @@ let of_string s =
                   | _ -> None)
                 (Some []) faulty
             with
-            | Some l when l <> [] -> ops := Crash (List.rev l) :: !ops
+            | Some (_ :: _ as l) -> ops := Crash (List.rev l) :: !ops
             | _ -> fail "bad op %S" line)
           | _ -> fail "bad op %S" line
         end)

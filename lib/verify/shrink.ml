@@ -73,8 +73,9 @@ let minimize ?mutate_lgc ?scratch_dir ?(budget = default_budget) ~oracle sc =
     let sc = set_ops sc (ddmin test sc sc.Scenario.ops 2) in
     let sc = drop_procs test sc in
     let sc = greedy test sc in
-    if (Scenario.op_count sc, sc.Scenario.n) < before && !attempts < budget
-    then fixpoint sc
+    let c0, n0 = before in
+    let c = Scenario.op_count sc and n = sc.Scenario.n in
+    if (c < c0 || (c = c0 && n < n0)) && !attempts < budget then fixpoint sc
     else sc
   in
   fixpoint sc

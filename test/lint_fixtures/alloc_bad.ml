@@ -1,0 +1,22 @@
+(* Allocation family, module-wide form: the empty-payload annotation
+   puts every top-level function in the hot set. *)
+[@@@lint.zero_alloc_hot]
+
+type pair = { a : int; b : int }
+
+let make_tuple x y = (x, y) (* EXPECT alloc/tuple *)
+let make_record x y = { a = x; b = y } (* EXPECT alloc/record *)
+let make_some x = Some x (* EXPECT alloc/construct *)
+let suspend x = lazy (x + 1) (* EXPECT alloc/construct *)
+let dup xs = Array.copy xs (* EXPECT alloc/array *)
+let twice xs = List.map succ xs (* EXPECT alloc/list *)
+let greet name = "hello " ^ name (* EXPECT alloc/string *)
+let cell x = ref x (* EXPECT alloc/construct *)
+let half x = x /. 2.0 (* EXPECT alloc/boxed-float *)
+
+let apply_all fs x =
+  List.iter (fun f -> f x) fs (* EXPECT alloc/closure *)
+
+(* curried definitions are not per-call closures: this must be clean *)
+let add x y = x + y
+let add' x = fun y -> x + y

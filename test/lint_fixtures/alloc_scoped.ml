@@ -1,0 +1,6 @@
+(* Allocation family, payload form: only the named function is hot; the
+   identical cold function below must stay clean. *)
+[@@@lint.zero_alloc_hot "hot_path"]
+
+let hot_path xs = List.rev xs (* EXPECT alloc/list *)
+let cold_path xs = List.rev xs

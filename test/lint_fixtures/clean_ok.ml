@@ -1,0 +1,8 @@
+(* The approved idioms: typed equality, scalar compares, allocation off
+   the hot path.  Must produce zero findings. *)
+
+let ints_equal (a : int) b = a = b
+let floats_less (a : float) b = a < b
+let strings_equal (a : string) b = String.equal a b
+let sort_ids (ids : int list) = List.sort Int.compare ids
+let keys tbl = List.sort Int.compare (Hashtbl.fold (fun k _ l -> k :: l) tbl [])

@@ -1,0 +1,14 @@
+(* Determinism family: every marked line must produce exactly the named
+   finding when scanned under the fixture configuration (which maps
+   test/lint_fixtures/ into the lib/ scope). *)
+
+let seed_from_env () = Random.self_init () (* EXPECT det/random-self-init *)
+let now () = Unix.gettimeofday () (* EXPECT det/wall-clock *)
+let boot_time () = Unix.time () (* EXPECT det/wall-clock *)
+let cpu () = Sys.time () (* EXPECT det/wall-clock *)
+let spawn f = Domain.spawn f (* EXPECT det/domain-spawn *)
+
+let sum_values tbl =
+  Hashtbl.fold (fun _ v acc -> v + acc) tbl 0 (* EXPECT det/hashtbl-order *)
+
+let visit tbl f = Hashtbl.iter f tbl (* EXPECT det/hashtbl-order *)

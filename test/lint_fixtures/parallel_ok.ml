@@ -1,0 +1,5 @@
+(* Domain.spawn is legitimate here: the fixture configuration maps this
+   file into the parallel scope (as lib/parallel/ is in the real one).
+   Must produce zero findings. *)
+
+let run f = Domain.spawn f

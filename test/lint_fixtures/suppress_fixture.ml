@@ -1,0 +1,20 @@
+(* Suppression discipline.  The first two allows are justified (one by
+   exact id, one by family) and must silence exactly their own site; the
+   rest exercise the meta-rules. *)
+
+type box = { v : int }
+
+let eq_boxes a (b : box) =
+  ((a = b) [@lint.allow "polycmp/equal" "fixture: structural equality intended"])
+
+let eq_boxes_family a (b : box) =
+  ((a = b) [@lint.allow "polycmp" "fixture: family-wide allow"])
+
+(* unjustified: the meta-rule fires AND the finding is not silenced *)
+let eq_unjustified a (b : box) = ((a = b) [@lint.allow "polycmp/equal"]) (* EXPECT lint/missing-justification *) (* EXPECT polycmp/equal *)
+
+(* unknown rule id: rejected, nothing silenced *)
+let eq_unknown a (b : box) = ((a = b) [@lint.allow "no/such-rule" "x"]) (* EXPECT lint/bad-allow *) (* EXPECT polycmp/equal *)
+
+(* justified but silences nothing: flagged as suspicious *)
+let quiet () = 0 [@@lint.allow "polycmp/equal" "fixture: nothing to silence"] (* EXPECT lint/unused-allow *)

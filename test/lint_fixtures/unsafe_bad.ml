@@ -1,0 +1,9 @@
+(* Unsafe-op hygiene: this file is NOT on the fixture allowlist, so the
+   attribute only changes which of the two rules fires. *)
+
+let first_no_attr xs = Array.unsafe_get xs 0 (* EXPECT unsafe/array *)
+
+let first_attr xs = Array.unsafe_get xs 0 (* EXPECT unsafe/file *)
+[@@lint.bounds_checked]
+
+let poke b = Bytes.unsafe_set b 0 'x' (* EXPECT unsafe/array *)

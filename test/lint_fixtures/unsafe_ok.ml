@@ -1,0 +1,6 @@
+(* Unsafe-op hygiene, the licensed shape: this file IS on the fixture
+   allowlist and the function carries [@@lint.bounds_checked], so no
+   finding may be produced. *)
+
+let first xs = if Array.length xs = 0 then 0 else Array.unsafe_get xs 0
+[@@lint.bounds_checked]

@@ -26,4 +26,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("fuzz", Test_fuzz.suite);
+      ("lint", Test_lint.suite);
     ]
