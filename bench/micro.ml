@@ -184,6 +184,36 @@ let engine_tests =
     make_batched ~name:"engine/send-deliver" ~k:32 (send_deliver_setup ());
   ]
 
+(* Sharded engine scaling: one whole simulation per run (create, seed 8
+   message chains, run to quiescence — ~3200 cross-process deliveries),
+   repeated at 1, 2 and 4 domains.  Unlike the steady-state groups this
+   driver pays the full setup each call, deliberately: domain spawn and
+   the window barriers are part of what the shard count buys or costs,
+   and the run-to-run workload is identical by the engine's determinism
+   guarantee, so the OLS regression stays meaningful.  Comparing the
+   shards=k rows against shards=1 gives the parallel speedup (or, on a
+   loaded machine, the barrier overhead). *)
+let engine_mt_setup ~shards () =
+  let n = 8 in
+  fun () ->
+    let e = Engine.create ~n ~seed:42 ~net:Network.default ~shards () in
+    for p = 0 to n - 1 do
+      Engine.set_receiver e p (fun ~src:_ msg ->
+          if msg > 0 then Engine.send e ~src:p ~dst:((p + 1) mod n) (msg - 1))
+    done;
+    for p = 0 to n - 1 do
+      Engine.send e ~src:p ~dst:((p + 1) mod n) 400
+    done;
+    Engine.run e
+
+let engine_mt_tests =
+  List.map
+    (fun shards ->
+      Test.make
+        ~name:(Printf.sprintf "engine-mt/shards=%d" shards)
+        (Staged.stage (engine_mt_setup ~shards ())))
+    [ 1; 2; 4 ]
+
 (* Algorithm 3 on the worst-case state: every process retains n
    checkpoints and the rebuild pins them all again (no elimination), so
    repeated calls are equivalent. *)
@@ -655,6 +685,9 @@ let micro_groups =
       receive_tests );
     ("checkpoint event with collection", `Fast, checkpoint_tests);
     ("engine throughput (pooled event queue, dispatch)", `Fast, engine_tests);
+    ( "sharded engine: whole-run throughput vs domain count",
+      `Slow,
+      engine_mt_tests );
     ( "ablation: per-event GC cost, incremental CCB vs full recompute",
       `Fast,
       ablation_tests );

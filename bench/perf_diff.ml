@@ -7,13 +7,19 @@
    harness free of a JSON dependency while staying robust to field
    reordering within a line.
 
-   Policy (non-fatal by design — the exit code is always 0 so CI can run
-   it on every push without flaking on shared-runner noise):
-   - WARN when ns_per_run regresses by more than 20%;
-   - WARN on any steady-state allocation growth beyond jitter
-     (allocs_per_run more than [alloc_jitter] words above baseline);
-   - improvements are reported as INFO lines so the trajectory is
-     visible in the CI log. *)
+   Policy:
+   - *structural* mismatches are fatal (exit 1): a schema-version change
+     or a different benchmark group set means the two files are not
+     comparable at all — a silent pass here is how a renamed or dropped
+     group escapes regression tracking, so the baseline must be
+     regenerated deliberately, in the same commit as the change;
+   - *measurements* are non-fatal, so CI can run on every push without
+     flaking on shared-runner noise:
+     - WARN when ns_per_run regresses by more than 20%;
+     - WARN on any steady-state allocation growth beyond jitter
+       (allocs_per_run more than [alloc_jitter] words above baseline);
+     - improvements are reported as INFO lines so the trajectory is
+       visible in the CI log. *)
 
 let ns_regression_threshold = 0.20
 let alloc_jitter = 8.0 (* words/run; OLS slope noise on a quiet run *)
@@ -88,6 +94,20 @@ let parse path =
              }
          | None -> None)
 
+let schema_of path =
+  String.split_on_char '\n' (read_file path)
+  |> List.find_map (fun line -> string_field line "\"schema\"")
+
+(* the group of a benchmark is its name up to the first '/': the JSON's
+   coarse table of contents ("engine", "engine-mt", "ccp", ...) *)
+let group_of name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let groups_of benches =
+  List.sort_uniq compare (List.map (fun b -> group_of b.name) benches)
+
 (* --- comparison -------------------------------------------------------- *)
 
 let pct_change ~from ~to_ = (to_ -. from) /. from *. 100.0
@@ -97,6 +117,36 @@ let run ~baseline ~current =
   if base = [] then
     Printf.printf "perf-diff: no benchmarks in baseline %s (nothing to do)\n"
       baseline;
+  (* structural comparability gate — fatal, unlike the measurement diffs
+     below: schema or group-set drift means the baseline must be
+     regenerated in the same commit as the change that caused it *)
+  let fatal = ref 0 in
+  let bs = schema_of baseline and cs = schema_of current in
+  if bs <> cs then begin
+    incr fatal;
+    let show = function Some s -> s | None -> "(missing)" in
+    Printf.printf "ERROR schema mismatch: baseline %s, current %s\n" (show bs)
+      (show cs)
+  end;
+  let bg = groups_of base and cg = groups_of cur in
+  if bg <> cg then begin
+    incr fatal;
+    let show gs = String.concat ", " gs in
+    Printf.printf
+      "ERROR benchmark group set changed: baseline {%s}, current {%s}\n"
+      (show bg) (show cg);
+    List.iter
+      (fun g ->
+        if not (List.mem g cg) then
+          Printf.printf "  group %S disappeared from the current run\n" g)
+      bg;
+    List.iter
+      (fun g ->
+        if not (List.mem g bg) then
+          Printf.printf
+            "  group %S is new — regenerate and commit the baseline\n" g)
+      cg
+  end;
   let warnings = ref 0 in
   let missing = ref 0 in
   List.iter
@@ -136,4 +186,12 @@ let run ~baseline ~current =
        words/run allocation growth)\n"
       !warnings baseline
       (ns_regression_threshold *. 100.0)
-      alloc_jitter
+      alloc_jitter;
+  if !fatal > 0 then begin
+    Printf.printf
+      "perf-diff: FAILED — %d structural mismatch(es); regenerate the \
+       baseline (`make bench-json` and commit BENCH_micro.json) alongside \
+       the change\n"
+      !fatal;
+    exit 1
+  end

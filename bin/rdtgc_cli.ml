@@ -139,8 +139,16 @@ let ckpt_bytes_arg =
        & info [ "ckpt-bytes" ] ~docv:"B"
            ~doc:"Synthetic size of one checkpoint payload (bytes).")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"K"
+           ~doc:"Run the simulation engine on $(docv) domains (conservative \
+                 time-window synchronization). Results are identical for \
+                 every value — only wall-clock time changes. Requires a \
+                 positive network minimum delay when > 1.")
+
 let build_config n seed duration protocol gc pattern send_interval
-    ckpt_interval reply loss fifo faults knowledge store_dir ckpt_bytes =
+    ckpt_interval reply loss fifo faults knowledge store_dir ckpt_bytes shards =
   {
     Sim_config.n;
     seed;
@@ -165,6 +173,7 @@ let build_config n seed duration protocol gc pattern send_interval
       | Some dir ->
         Sim_config.Durable
           { dir; config = Rdt_store.Log_store.default_config });
+    shards;
   }
 
 let config_term =
@@ -172,7 +181,7 @@ let config_term =
     const build_config $ n_arg $ seed_arg $ duration_arg $ protocol_arg
     $ gc_arg $ pattern_arg $ send_interval_arg $ ckpt_interval_arg $ reply_arg
     $ loss_arg $ fifo_arg $ crash_arg $ knowledge_arg $ store_dir_arg
-    $ ckpt_bytes_arg)
+    $ ckpt_bytes_arg $ shards_arg)
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -479,7 +488,7 @@ let protocols_cmd =
 
 (* --- fuzz ---------------------------------------------------------------- *)
 
-let do_fuzz seed runs max_procs shrink corpus mutate_lgc replay quiet =
+let do_fuzz seed runs max_procs shrink corpus mutate_lgc replay quiet shards =
   let log = if quiet then fun _ -> () else print_endline in
   match replay with
   | Some file -> begin
@@ -501,8 +510,8 @@ let do_fuzz seed runs max_procs shrink corpus mutate_lgc replay quiet =
   end
   | None ->
     let report =
-      Rdt_verify.Fuzz.campaign ~mutate_lgc ~shrink ?corpus ~log ~seed ~runs
-        ~max_procs ()
+      Rdt_verify.Fuzz.campaign ~mutate_lgc ~shrink ?corpus ~log ~shards ~seed
+        ~runs ~max_procs ()
     in
     if mutate_lgc then begin
       (* self-check: the deliberately broken collector must be caught *)
@@ -557,10 +566,18 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-run output.")
   in
+  let fuzz_shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Run simulated-mode donor simulations on $(docv) engine \
+                   domains. Scenarios and verdicts are identical for every \
+                   value; > 1 smoke-tests the parallel engine under the \
+                   oracles.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const do_fuzz $ seed_arg $ runs_arg $ max_procs_arg $ shrink_arg
-      $ corpus_arg $ mutate_arg $ replay_arg $ quiet_arg)
+      $ corpus_arg $ mutate_arg $ replay_arg $ quiet_arg $ fuzz_shards_arg)
 
 (* --- lint ---------------------------------------------------------------- *)
 

@@ -5,16 +5,36 @@ type kind =
   | Send of { msg_id : int; dst : int }
   | Receive of { msg_id : int; src : int }
 
-type event = { seq : int; pid : int; kind : kind }
+type event = { mutable seq : int; pid : int; kind : kind }
+
+(* Canonical-order stamp of one not-yet-sequenced record: the engine
+   event's key [(s_time, s_u, s_v)] plus [s_k], the rank of this record
+   among those made by the same process under the same key (one engine
+   event can record several trace events). *)
+type stamp = { s_time : float; s_u : int; s_v : int; s_k : int; s_ev : event }
 
 type t = {
   n : int;
   logs : event Vec.t array;
   mutable next_seq : int;
-  mutable next_msg_id : int;
+  (* per-process msg-id counters: id = k * n + pid, so ids are unique and
+     a pure function of the sender's own history — no global counter whose
+     value would depend on cross-process interleaving *)
+  next_msg_id : int array;
   mutable recording : bool;
   mutable on_event : (event -> unit) list;
   mutable on_truncate : (pid:int -> unit) list;
+  (* When set (sharded runs), records are buffered unsequenced per process
+     with a stamp drawn from this source, and {!finalize} later assigns
+     [seq] in canonical order and fires [on_event] — producing the exact
+     linearization the sequential engine records directly.  When unset,
+     records are sequenced immediately at append (the historical path). *)
+  mutable order_source : (unit -> float * int * int) option;
+  pending : stamp Vec.t array;  (* per process, so shards never share *)
+  last_time : float array;
+  last_u : int array;
+  last_v : int array;
+  last_k : int array;
 }
 
 let create ~n =
@@ -23,24 +43,83 @@ let create ~n =
     n;
     logs = Array.init n (fun _ -> Vec.create ());
     next_seq = 0;
-    next_msg_id = 0;
+    next_msg_id = Array.make n 0;
     recording = true;
     on_event = [];
     on_truncate = [];
+    order_source = None;
+    pending = Array.init n (fun _ -> Vec.create ());
+    last_time = Array.make n nan;
+    last_u = Array.make n 0;
+    last_v = Array.make n 0;
+    last_k = Array.make n 0;
   }
 
 let n t = t.n
 let set_recording t b = t.recording <- b
 let on_event t f = t.on_event <- f :: t.on_event
 let on_truncate t f = t.on_truncate <- f :: t.on_truncate
+let set_order_source t f = t.order_source <- Some f
+
+let stamp_compare a b =
+  let c = Float.compare a.s_time b.s_time in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.s_u b.s_u in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.s_v b.s_v in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.s_k b.s_k in
+        if c <> 0 then c else Int.compare a.s_ev.pid b.s_ev.pid
+
+let finalize t =
+  let total = Array.fold_left (fun acc v -> acc + Vec.length v) 0 t.pending in
+  if total > 0 then begin
+    let all =
+      let buf = ref [] in
+      Array.iter (fun v -> Vec.iter (fun s -> buf := s :: !buf) v) t.pending;
+      Array.of_list !buf
+    in
+    Array.iter Vec.clear t.pending;
+    Array.sort stamp_compare all;
+    Array.iter
+      (fun s ->
+        let ev = s.s_ev in
+        ev.seq <- t.next_seq;
+        t.next_seq <- t.next_seq + 1;
+        List.iter (fun f -> f ev) t.on_event)
+      all
+  end
 
 let record t ~pid kind =
   if pid < 0 || pid >= t.n then invalid_arg "Trace.record: bad pid";
   if t.recording then begin
-    let ev = { seq = t.next_seq; pid; kind } in
-    t.next_seq <- t.next_seq + 1;
-    Vec.push t.logs.(pid) ev;
-    List.iter (fun f -> f ev) t.on_event
+    match t.order_source with
+    | None ->
+      let ev = { seq = t.next_seq; pid; kind } in
+      t.next_seq <- t.next_seq + 1;
+      Vec.push t.logs.(pid) ev;
+      List.iter (fun f -> f ev) t.on_event
+    | Some source ->
+      let tm, u, v = source () in
+      let k =
+        if
+          Float.equal tm t.last_time.(pid)
+          && u = t.last_u.(pid)
+          && v = t.last_v.(pid)
+        then t.last_k.(pid) + 1
+        else 0
+      in
+      t.last_time.(pid) <- tm;
+      t.last_u.(pid) <- u;
+      t.last_v.(pid) <- v;
+      t.last_k.(pid) <- k;
+      let ev = { seq = -1; pid; kind } in
+      Vec.push t.logs.(pid) ev;
+      Vec.push t.pending.(pid)
+        { s_time = tm; s_u = u; s_v = v; s_k = k; s_ev = ev }
   end
 
 (* the [recording] test is replicated here so a muted trace (benchmarks,
@@ -54,10 +133,10 @@ let record_send t ~pid ~msg_id ~dst =
 let record_receive t ~pid ~msg_id ~src =
   if t.recording then record t ~pid (Receive { msg_id; src })
 
-let fresh_msg_id t =
-  let id = t.next_msg_id in
-  t.next_msg_id <- id + 1;
-  id
+let fresh_msg_id t ~pid =
+  let k = t.next_msg_id.(pid) in
+  t.next_msg_id.(pid) <- k + 1;
+  (k * t.n) + pid
 
 let last_checkpoint_index t ~pid =
   Vec.fold_left
@@ -65,15 +144,21 @@ let last_checkpoint_index t ~pid =
       match ev.kind with Checkpoint { index } -> max acc index | Send _ | Receive _ -> acc)
     (-1) t.logs.(pid)
 
-let events_of t ~pid = Vec.to_list t.logs.(pid)
+let events_of t ~pid =
+  finalize t;
+  Vec.to_list t.logs.(pid)
 
 let all_events t =
+  finalize t;
   let all =
     Array.to_list t.logs |> List.concat_map Vec.to_list
   in
-  List.sort (fun a b -> compare a.seq b.seq) all
+  List.sort (fun a b -> Int.compare a.seq b.seq) all
 
 let truncate_to_checkpoint t ~pid ~index =
+  (* sequence everything first: pending records of the truncated suffix
+     must reach subscribers (they happened) before the retraction does *)
+  finalize t;
   let log = t.logs.(pid) in
   let cut = ref (-1) in
   Vec.iteri
@@ -118,6 +203,14 @@ let of_channel ic =
     end
     | None -> failwith "Trace.of_channel: missing process count"
   in
+  (* loaded traces may carry ids from other schemes (hand-written files);
+     push every counter past them so fresh ids never collide *)
+  let bump_past msg_id =
+    let base = (msg_id / t.n) + 1 in
+    for p = 0 to t.n - 1 do
+      if t.next_msg_id.(p) < base then t.next_msg_id.(p) <- base
+    done
+  in
   let parse l =
     try
       match l.[0] with
@@ -126,7 +219,7 @@ let of_channel ic =
       | 'S' ->
         Scanf.sscanf l "S %d %d %d" (fun pid msg_id dst ->
             record_send t ~pid ~msg_id ~dst;
-            t.next_msg_id <- max t.next_msg_id (msg_id + 1))
+            bump_past msg_id)
       | 'R' ->
         Scanf.sscanf l "R %d %d %d" (fun pid msg_id src ->
             record_receive t ~pid ~msg_id ~src)
@@ -167,7 +260,7 @@ let checkpoint t pid =
   record_checkpoint t ~pid ~index
 
 let send t ~src ~dst =
-  let msg_id = fresh_msg_id t in
+  let msg_id = fresh_msg_id t ~pid:src in
   record_send t ~pid:src ~msg_id ~dst;
   msg_id
 

@@ -3,9 +3,12 @@
     The checkpointing middleware appends events here as the simulation
     runs; {!Ccp.of_trace} later turns the trace into a checkpoint and
     communication pattern for analysis.  Events carry a global sequence
-    number assigned at record time: since a receive is always recorded
-    after its send, the sequence order is a linearization consistent with
-    causality, which the analyzers exploit.
+    number: since a receive is always sequenced after its send, the
+    sequence order is a linearization consistent with causality, which
+    the analyzers exploit.  Sequence numbers are assigned at record time,
+    or — in sharded simulations, where processes append concurrently —
+    deferred and assigned in canonical engine order at {!finalize} (see
+    {!set_order_source}).
 
     Rollback support: {!truncate_to_checkpoint} rewinds one process to just
     after a stable checkpoint, erasing the undone events.  Sends erased
@@ -20,7 +23,10 @@ type kind =
   | Send of { msg_id : int; dst : int }
   | Receive of { msg_id : int; src : int }
 
-type event = { seq : int; pid : int; kind : kind }
+type event = { mutable seq : int; pid : int; kind : kind }
+(** [seq] is owned by the trace: it is assigned at record time, or — when
+    an order source is installed ({!set_order_source}) — at {!finalize}.
+    Clients must treat it as read-only. *)
 
 type t
 
@@ -51,12 +57,35 @@ val on_truncate : t -> (pid:int -> unit) -> unit
     consumers treat this as a cache invalidation (truncation can retract
     events a subscriber already folded in). *)
 
+val set_order_source : t -> (unit -> float * int * int) -> unit
+(** Route appends through deferred canonical ordering: each record is
+    buffered per process, stamped with the key the source returns (the
+    engine's [current_stamp]), and sequenced lazily by {!finalize} —
+    sorted by [(time, u, v, k, pid)] where [k] ranks multiple records
+    made under one key by the same process.  Installed by the runner for
+    sharded simulations, where processes append from multiple domains and
+    arrival order is not the canonical order.  Must be set before the
+    first record. *)
+
+val finalize : t -> unit
+(** Sequence every buffered record and fire the {!on_event} callbacks in
+    canonical order.  Idempotent; a no-op without an order source.  Called
+    implicitly by every reader ({!events_of}, {!all_events},
+    {!to_channel}, {!truncate_to_checkpoint}); callers only need it
+    explicitly before reading [event.seq] directly.  Must not be called
+    while event handlers may still append (i.e. only between engine
+    windows or after the run). *)
+
 val record_checkpoint : t -> pid:int -> index:int -> unit
 val record_send : t -> pid:int -> msg_id:int -> dst:int -> unit
 val record_receive : t -> pid:int -> msg_id:int -> src:int -> unit
 
-val fresh_msg_id : t -> int
-(** Allocates a globally unique message identifier. *)
+val fresh_msg_id : t -> pid:int -> int
+(** Allocates a message identifier unique across the trace
+    ([k * n + pid], counting [pid]'s sends).  Ids are a pure function of
+    the allocating process's own history, so they are stable under any
+    interleaving of processes — sharded and sequential runs assign the
+    same ids. *)
 
 val last_checkpoint_index : t -> pid:int -> int
 (** Index of the last stable checkpoint recorded for [pid]; [-1] if none. *)

@@ -22,7 +22,6 @@ type round_state = {
   mutable replies : (int * Global_gc.snapshot) list;
   mutable expected : int list;
   mutable rounds_completed : int;
-  mutable control_messages : int;
 }
 
 type t = {
@@ -39,6 +38,9 @@ type t = {
   series_store_live_bytes : Series.t;
   series_store_dead_bytes : Series.t;
   rounds : round_state;
+  (* striped by executing shard: control sends happen inside routed
+     handlers, so a single shared cell would race under [shards > 1] *)
+  control_sent : Rdt_metrics.Shard_counter.t;
   mutable crashed_pending : int list;
   mutable recoveries : Session.report list;
   mutable on_sample : (t -> unit) option;
@@ -55,6 +57,7 @@ let trace t = t.trace
 let middleware t pid = t.middlewares.(pid)
 let collector t pid = t.collectors.(pid)
 let ccp t =
+  Trace.finalize t.trace;
   match t.ccp_incr with
   | Some incr -> Ccp.Incremental.ccp incr
   | None ->
@@ -97,17 +100,20 @@ let reply_sends t pid ~src =
     (fun dst -> app_send t ~src:pid ~dst)
     (Workload.reply_destinations t.workload ~me:pid ~src)
 
+(* Per-process timers are [pin]ned (not [owner]ed): they execute on the
+   process's shard, but keep firing while it is down so they can re-arm —
+   the explicit [is_up] guard reproduces the skip. *)
 let rec arm_send_timer t pid =
   let delay = Workload.next_send_delay t.workload ~me:pid in
   ignore
-    (Engine.schedule_in t.engine ~delay (fun () ->
+    (Engine.schedule_in t.engine ~pin:pid ~delay (fun () ->
          if Engine.is_up t.engine pid then spontaneous_sends t pid;
          arm_send_timer t pid))
 
 let rec arm_ckpt_timer t pid =
   let delay = Workload.next_basic_ckpt_delay t.workload ~me:pid in
   ignore
-    (Engine.schedule_in t.engine ~delay (fun () ->
+    (Engine.schedule_in t.engine ~pin:pid ~delay (fun () ->
          if Engine.is_up t.engine pid then
            Middleware.basic_checkpoint t.middlewares.(pid)
              ~now:(Engine.now t.engine);
@@ -116,8 +122,12 @@ let rec arm_ckpt_timer t pid =
 (* --- coordinated GC rounds ------------------------------------------ *)
 
 let control_send t ~src ~dst msg =
-  t.rounds.control_messages <- t.rounds.control_messages + 1;
+  (* always called from [src]'s own shard, so the slot write is owned *)
+  Rdt_metrics.Shard_counter.incr t.control_sent
+    (Engine.shard_of_pid t.engine src);
   Engine.send t.engine ~reliable:true ~src ~dst msg
+
+let control_messages t = Rdt_metrics.Shard_counter.total t.control_sent
 
 let start_round t =
   if Engine.is_up t.engine coordinator then begin
@@ -195,8 +205,10 @@ let on_gc_reply t ~round ~pid snapshot =
   | Some _ | None -> ()
 
 let rec arm_gc_timer t ~period =
+  (* pinned to the coordinator: the round logic only touches the
+     coordinator's state and sends control messages from it *)
   ignore
-    (Engine.schedule_in t.engine ~delay:period (fun () ->
+    (Engine.schedule_in t.engine ~pin:coordinator ~delay:period (fun () ->
          start_round t;
          arm_gc_timer t ~period))
 
@@ -216,7 +228,7 @@ let lazy_local_collect t pid =
 
 let rec arm_lazy_local_timer t pid ~period =
   ignore
-    (Engine.schedule_in t.engine ~delay:period (fun () ->
+    (Engine.schedule_in t.engine ~pin:pid ~delay:period (fun () ->
          if Engine.is_up t.engine pid then lazy_local_collect t pid;
          arm_lazy_local_timer t pid ~period))
 
@@ -325,8 +337,15 @@ let rec arm_sample_timer t =
 
 let create (cfg : Sim_config.t) =
   Sim_config.validate cfg;
-  let engine = Engine.create ~n:cfg.n ~seed:cfg.seed ~net:cfg.net () in
+  let engine =
+    Engine.create ~n:cfg.n ~seed:cfg.seed ~net:cfg.net ~shards:cfg.shards ()
+  in
   let trace = Trace.create ~n:cfg.n in
+  (* With one shard the engine records in canonical order already; with
+     several, processes append from different domains and the trace defers
+     sequencing until the stamps can be merged. *)
+  if Engine.shards engine > 1 then
+    Trace.set_order_source trace (fun () -> Engine.current_stamp engine);
   let log_stores =
     Array.init cfg.n (fun me ->
         match cfg.store with
@@ -401,8 +420,9 @@ let create (cfg : Sim_config.t) =
           replies = [];
           expected = [];
           rounds_completed = 0;
-          control_messages = 0;
         };
+      control_sent =
+        Rdt_metrics.Shard_counter.create ~slots:(Engine.shards engine);
       crashed_pending = [];
       recoveries = [];
       on_sample = None;
@@ -433,7 +453,10 @@ let create (cfg : Sim_config.t) =
   arm_sample_timer t;
   t
 
-let run t = Engine.run ~until:t.cfg.Sim_config.duration t.engine
+let run t =
+  Engine.run ~until:t.cfg.Sim_config.duration t.engine;
+  (* flush deferred trace sequencing so [on_event] subscribers are current *)
+  Trace.finalize t.trace
 let step t = Engine.step t.engine
 
 (* --- summary ----------------------------------------------------------- *)
@@ -495,11 +518,11 @@ let summary t =
     mean_optimal_retained =
       (if Series.length t.series_optimal = 0 then nan
        else Rdt_metrics.Stats.mean (Series.stats t.series_optimal));
-    app_messages = engine_stats.Engine.sent - t.rounds.control_messages;
+    app_messages = engine_stats.Engine.sent - control_messages t;
     piggyback_words =
-      (engine_stats.Engine.sent - t.rounds.control_messages)
+      (engine_stats.Engine.sent - control_messages t)
       * (t.cfg.Sim_config.n + 1);
-    control_messages = t.rounds.control_messages;
+    control_messages = control_messages t;
     gc_rounds = t.rounds.rounds_completed;
     recovery_sessions = List.length t.recoveries;
     checkpoints_rolled_back =

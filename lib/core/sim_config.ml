@@ -37,6 +37,7 @@ type t = {
   sample_interval : float;
   ckpt_bytes : int;
   store : store_backend;
+  shards : int;
 }
 
 let default =
@@ -53,6 +54,7 @@ let default =
     sample_interval = 5.0;
     ckpt_bytes = 1;
     store = Memory;
+    shards = 1;
   }
 
 let validate t =
@@ -60,6 +62,11 @@ let validate t =
   if t.duration <= 0.0 then invalid_arg "Sim_config: duration must be positive";
   if t.sample_interval <= 0.0 then
     invalid_arg "Sim_config: sample interval must be positive";
+  if t.shards < 1 then invalid_arg "Sim_config: shards must be at least 1";
+  if t.shards > 1 && t.net.Rdt_sim.Network.min_delay <= 0.0 then
+    invalid_arg
+      "Sim_config: shards > 1 needs a positive network min_delay (the \
+       conservative lookahead)";
   (match t.gc with
   | Coordinated { period }
   | Simple { period }

@@ -56,6 +56,10 @@ type t = {
   sample_interval : float;  (** metrics sampling period *)
   ckpt_bytes : int;  (** synthetic size of one checkpoint *)
   store : store_backend;  (** where stable storage actually lives *)
+  shards : int;
+      (** engine shard (domain) count; results are identical at every
+          value, only wall-clock time changes.  [> 1] requires
+          [net.min_delay > 0] (it is the conservative lookahead) *)
 }
 
 val default : t

@@ -39,6 +39,12 @@ let self_init_names = [ "Random.self_init"; "Random.State.make_self_init" ]
 let wall_clock_names = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
 let domain_spawn_names = [ "Domain.spawn" ]
 
+(* any Atomic.* operation: matched by module prefix rather than an
+   explicit list because the whole module is off-limits outside the
+   barrier code — shard-confined plain state plus the window barrier is
+   the project's synchronization discipline *)
+let atomic_name name = String.length name > 7 && String.sub name 0 7 = "Atomic."
+
 let hashtbl_order_names =
   [
     "Hashtbl.iter";
@@ -303,6 +309,12 @@ let check_ident ctx e path =
     then
       error ctx ~loc ~rule:"det/domain-spawn"
         ~msg:(name ^ " outside lib/parallel; use Domain_pool");
+    if atomic_name name && not (Lint_config.in_parallel ctx.cfg ctx.file) then
+      error ctx ~loc ~rule:"det/atomic"
+        ~msg:
+          (name
+         ^ " outside lib/parallel; shard-confined plain state synchronized \
+            at the window barrier is the concurrency discipline");
     if
       mem_name name hashtbl_order_names
       && Lint_config.in_hashtbl_det ctx.cfg ctx.file

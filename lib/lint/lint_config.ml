@@ -6,7 +6,8 @@
 type t = {
   lib_prefixes : string list;
       (* determinism, unsafe and polycmp rules apply here *)
-  parallel_prefixes : string list;  (* Domain.spawn is legal here *)
+  parallel_prefixes : string list;
+      (* Domain.spawn and Atomic are legal here *)
   hashtbl_det_prefixes : string list;
       (* order-dependent Hashtbl iteration is banned here *)
   unsafe_allowlist : string list;
@@ -17,7 +18,15 @@ let default =
   {
     lib_prefixes = [ "lib/" ];
     parallel_prefixes = [ "lib/parallel/" ];
-    hashtbl_det_prefixes = [ "lib/sim/"; "lib/verify/"; "lib/scenarios/" ];
+    hashtbl_det_prefixes =
+      [
+        (* simulation + verification proper *)
+        "lib/sim/"; "lib/verify/"; "lib/scenarios/";
+        (* shard-merge paths: trace stamping, the runner's window barrier
+           bookkeeping and the sharded counters must merge in canonical
+           order, never hash order *)
+        "lib/ccp/"; "lib/core/"; "lib/metrics/";
+      ];
     unsafe_allowlist =
       [
         "lib/causality/dependency_vector.ml";

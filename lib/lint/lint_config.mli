@@ -10,9 +10,10 @@ type t = {
 
 val default : t
 (** The project policy: everything under [lib/] is in scope; Domain.spawn
-    only in [lib/parallel/]; Hashtbl iteration order matters in
-    [lib/sim/], [lib/verify/] and [lib/scenarios/]; unsafe indexing only
-    in the allowlisted files. *)
+    and Atomic only in [lib/parallel/]; Hashtbl iteration order matters
+    in [lib/sim/], [lib/verify/], [lib/scenarios/] and in the
+    shard-merge paths [lib/ccp/], [lib/core/], [lib/metrics/]; unsafe
+    indexing only in the allowlisted files. *)
 
 val normalize_path : string -> string
 val in_lib : t -> string -> bool

@@ -18,6 +18,9 @@ let all =
     mk "det/domain-spawn"
       "Domain.spawn outside lib/parallel bypasses the deterministic domain \
        pool";
+    mk "det/atomic"
+      "Atomic outside lib/parallel; shards own their state outright and \
+       synchronize only at the window barrier";
     mk "det/hashtbl-order"
       "Hashtbl.iter/fold visit in hash order, which depends on insertion \
        history; sort the keys or keep a deterministic index";

@@ -1,0 +1,22 @@
+type t = int array
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Shard_counter.create: slots must be positive";
+  Array.make slots 0
+
+let slots = Array.length
+
+let incr t slot =
+  if slot < 0 || slot >= Array.length t then
+    invalid_arg "Shard_counter.incr: bad slot";
+  t.(slot) <- t.(slot) + 1
+
+let add t slot k =
+  if slot < 0 || slot >= Array.length t then
+    invalid_arg "Shard_counter.add: bad slot";
+  t.(slot) <- t.(slot) + k
+
+let get t slot = t.(slot)
+let total t = Array.fold_left ( + ) 0 t
+let per_slot t = Array.copy t
+let reset t = Array.fill t 0 (Array.length t) 0

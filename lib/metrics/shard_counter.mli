@@ -1,0 +1,38 @@
+(** Slot-striped event counter for sharded simulations.
+
+    A plain shared [int ref] bumped from event handlers would race once the
+    engine runs handlers on multiple domains, and even without tearing the
+    final value would depend on interleaving.  Instead each shard (or any
+    other disjoint slot owner) increments its own slot — no two domains
+    ever write the same cell, the engine's window barrier publishes the
+    writes — and {!total} merges the slots deterministically when the run
+    is over.
+
+    Slots are plain [int] cells, not [Atomic.t]: the whole point is that
+    ownership, not synchronization, makes the counts race-free, matching
+    the engine's shard-confinement discipline (and the [det/atomic] lint
+    rule that keeps [Atomic] out of simulation code). *)
+
+type t
+
+val create : slots:int -> t
+(** @raise Invalid_argument if [slots <= 0]. *)
+
+val slots : t -> int
+
+val incr : t -> int -> unit
+(** [incr t slot] adds one to [slot].  Callers must ensure each slot is
+    only ever written by one domain at a time (e.g. slot = executing
+    shard).
+    @raise Invalid_argument on an out-of-range slot. *)
+
+val add : t -> int -> int -> unit
+(** [add t slot k] adds [k] to [slot]; same ownership contract as
+    {!incr}. *)
+
+val get : t -> int -> int
+val total : t -> int
+val per_slot : t -> int array
+(** A copy; mutating it does not affect the counter. *)
+
+val reset : t -> unit

@@ -1,0 +1,119 @@
+(* A persistent team of domains for repeated barrier-synchronized rounds.
+
+   Domain_pool hands independent tasks to whichever worker is free; the
+   sharded simulation engine needs the opposite shape: the *same* [size]
+   workers re-invoked every time window, each on its own fixed shard
+   index, with a full barrier between rounds.  Workers park on a
+   condition variable between rounds, so a round costs two lock
+   hand-offs per worker and no domain spawns.
+
+   The caller's domain acts as member 0 of every round; [size - 1]
+   domains are spawned at [create] and joined at [shutdown].  All
+   cross-domain communication goes through [m]; the mutex acquire/release
+   pairs around a round double as the happens-before edges that make the
+   engine's plain (non-atomic) shard state safe to hand from one round's
+   writer to the next round's reader. *)
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  start : Condition.t;  (* workers wait here for the next round *)
+  finished : Condition.t;  (* the caller waits here for the barrier *)
+  mutable job : (int -> unit) option;
+  mutable round : int;
+  mutable remaining : int;
+  mutable stop : bool;
+  mutable failures : (int * exn) list;
+  mutable domains : unit Domain.t list;
+}
+
+(* Which team member the current domain is: 0 for any domain that never
+   joined a team (in particular the caller), the member index inside a
+   round's job otherwise.  The engine uses this to find "its" shard from
+   inside an event handler without threading the index through every
+   callback. *)
+let dls_index = Domain.DLS.new_key (fun () -> 0)
+let self_index () = Domain.DLS.get dls_index
+
+let worker t i () =
+  Domain.DLS.set dls_index i;
+  let rec loop last_round =
+    Mutex.lock t.m;
+    while (not t.stop) && t.round = last_round do
+      Condition.wait t.start t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      let job = Option.get t.job in
+      let round = t.round in
+      Mutex.unlock t.m;
+      (try job i
+       with e ->
+         Mutex.lock t.m;
+         t.failures <- (i, e) :: t.failures;
+         Mutex.unlock t.m);
+      Mutex.lock t.m;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.m;
+      loop round
+    end
+  in
+  loop 0
+
+let create ~size =
+  if size < 1 then invalid_arg "Barrier_team.create: size must be >= 1";
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      round = 0;
+      remaining = 0;
+      stop = false;
+      failures = [];
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let size t = t.size
+
+let run t f =
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.m;
+    t.job <- Some f;
+    t.remaining <- t.size - 1;
+    t.failures <- [];
+    t.round <- t.round + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.m;
+    let caller_failure = (try f 0; None with e -> Some e) in
+    Mutex.lock t.m;
+    while t.remaining > 0 do
+      Condition.wait t.finished t.m
+    done;
+    t.job <- None;
+    let failures = t.failures in
+    Mutex.unlock t.m;
+    (* every member reached the barrier; re-raise the lowest-index failure
+       so error reporting does not depend on domain scheduling *)
+    match caller_failure with
+    | Some e -> raise e
+    | None -> (
+      match List.sort (fun (a, _) (b, _) -> Int.compare a b) failures with
+      | (_, e) :: _ -> raise e
+      | [] -> ())
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.start;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,41 @@
+(** Persistent domain team for repeated barrier-synchronized rounds.
+
+    {!Domain_pool} distributes independent tasks; this module instead
+    re-invokes the {e same} [size] members every round — member [i] always
+    processes index [i] — with a full barrier at the end of each round.
+    The sharded simulation engine drives one round per conservative time
+    window: workers park between rounds, so a window costs condition-variable
+    hand-offs rather than domain spawns.
+
+    Mutual exclusion and publication: all round hand-offs go through one
+    internal mutex, whose acquire/release pairs establish the
+    happens-before edges that let members publish plain (non-atomic)
+    mutable state to whoever reads it after the barrier.  This is the
+    project's designated home (with {!Domain_pool}) for [Domain]/[Mutex]/
+    [Condition] use — rdt_lint's det/* rules flag those primitives
+    anywhere else. *)
+
+type t
+
+val create : size:int -> t
+(** Spawn [size - 1] worker domains (the caller is member 0).
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f i] for every member [i] in [0 .. size-1], [f 0]
+    on the calling domain, and returns once {e all} members finished (the
+    barrier).  If any [f i] raises, the exception of the lowest failing
+    index is re-raised in the caller after the barrier completes, so
+    error propagation is independent of domain scheduling.  Not
+    reentrant: do not call {!run} from inside [f]. *)
+
+val self_index : unit -> int
+(** Index of the round member the current domain is executing as; [0] on
+    any domain outside a round (in particular the caller between rounds).
+    Backed by domain-local storage. *)
+
+val shutdown : t -> unit
+(** Join the worker domains; idempotent.  The team must not be used
+    afterwards. *)

@@ -120,7 +120,7 @@ let prepare_send t ~dst ~now =
       ~dv:(Dependency_vector.view t.dv)
       ~index:(t.proto.Protocol.control_index ())
   in
-  let msg_id = Trace.fresh_msg_id t.trace in
+  let msg_id = Trace.fresh_msg_id t.trace ~pid:t.me in
   Trace.record_send t.trace ~pid:t.me ~msg_id ~dst;
   t.app_state <- evolve_state t.app_state ((2 * msg_id) + 1);
   if t.proto.Protocol.force_after_send then take_checkpoint t ~kind:Forced ~now;

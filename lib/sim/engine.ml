@@ -1,3 +1,5 @@
+module Barrier_team = Rdt_parallel.Barrier_team
+
 type 'msg event =
   | Deliver of { src : int; dst : int; payload : 'msg; epoch : int }
   | Action of { owner : int option; f : unit -> unit }
@@ -11,46 +13,158 @@ type stats = {
   mutable events : int;
 }
 
-type 'msg t = {
-  n : int;
-  rng : Prng.t;
-  net : Network.t;
+(* Canonical event keys.
+   Execution order must be a pure function of (seed, config), independent
+   of shard count and of which shard inserted an event first, so ties at
+   equal virtual time are broken by an interleaving-independent key
+   [(u, v)] instead of insertion order:
+
+     delivery to [dst]      u = dst lsl 1         v = chan_seq * n + src
+     action routed to [p]   u = (p lsl 1) lor 1   v = per-process counter
+     global action          u = max_int           v = global counter
+
+   [chan_seq] is a per-(src,dst) counter assigned by the sender (in the
+   sender's own deterministic execution order), the action counters are
+   assigned at scheduling time (in the owning process's deterministic
+   order, or at a barrier for globals).  Global actions carry the largest
+   [u], so at any timestamp every process-routed event precedes every
+   global — which is exactly the order the windowed executor produces
+   when it closes a window before running globals.  The sequential
+   (shards = 1) executor uses one queue ordered by the same keys, so both
+   modes replay the identical event sequence. *)
+
+type 'msg shard = {
   queue : 'msg event Event_queue.t;
   mutable clock : float;
+  st : stats;
+  (* canonical key of the event this shard is currently executing; the
+     trace reads it through [current_stamp] to timestamp its records *)
+  mutable cur_u : int;
+  mutable cur_v : int;
+}
+
+type 'msg pending = { p_time : float; p_u : int; p_v : int; p_ev : 'msg event }
+
+(* [Windows] = shards executing their slices in parallel; [Global] = at a
+   window barrier on the caller's domain; [Idle] = not inside [run]. *)
+type phase = Idle | Windows | Global
+
+let in_windows = function Windows -> true | Idle | Global -> false
+
+type 'msg t = {
+  n : int;
+  nshards : int;
+  shard_of : int array;
+  rng : Prng.t;
+  net : Network.t;
+  shards : 'msg shard array;
+  global : 'msg event Event_queue.t;  (* unrouted actions; barrier-only *)
+  mutable gclock : float;
+  mutable gcur_v : int;  (* v of the global action being executed *)
+  mutable phase : phase;
   mutable epoch : int;  (* bumped by flush_in_flight; stale deliveries die *)
   up : bool array;
   receivers : (src:int -> 'msg -> unit) option array;
-  stats : stats;
+  chan_seq : int array;  (* per-(src,dst) send counter *)
+  act_seq : int array;  (* per-process scheduled-action counter *)
+  mutable glob_seq : int;
+  mutable setup_seq : int;  (* stamps records made outside any event *)
+  (* inter-shard mailboxes: cell [src_shard * nshards + dst_shard] is
+     written only by [src_shard] during a window and drained into the
+     destination queues by the caller at the barrier *)
+  outbox : 'msg pending Vec.t array;
+  lookahead : float;  (* conservative window width = min message delay *)
 }
 
-let create ~n ~seed ~net () =
+let fresh_stats () =
+  { sent = 0; delivered = 0; lost = 0; dropped_down = 0; flushed = 0; events = 0 }
+
+let create ~n ~seed ~net ?(shards = 1) () =
   if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
+  let nshards = min shards n in
+  if nshards > 1 && net.Network.min_delay <= 0.0 then
+    invalid_arg
+      "Engine.create: shards > 1 requires positive network min_delay \
+       (conservative windows need non-zero lookahead)";
   let rng = Prng.create ~seed in
+  let block = (n + nshards - 1) / nshards in
   {
     n;
+    nshards;
+    shard_of = Array.init n (fun pid -> pid / block);
     rng;
     net = Network.create net ~n ~rng:(Prng.split rng);
-    queue = Event_queue.create ();
-    clock = 0.0;
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            queue = Event_queue.create ();
+            clock = 0.0;
+            st = fresh_stats ();
+            cur_u = 0;
+            cur_v = 0;
+          });
+    global = Event_queue.create ();
+    gclock = 0.0;
+    gcur_v = 0;
+    phase = Idle;
     epoch = 0;
     up = Array.make n true;
     receivers = Array.make n None;
-    stats =
-      {
-        sent = 0;
-        delivered = 0;
-        lost = 0;
-        dropped_down = 0;
-        flushed = 0;
-        events = 0;
-      };
+    chan_seq = Array.make (n * n) 0;
+    act_seq = Array.make n 0;
+    glob_seq = 0;
+    setup_seq = 0;
+    outbox = Array.init (nshards * nshards) (fun _ -> Vec.create ());
+    lookahead = net.Network.min_delay;
   }
 
 let n t = t.n
-let now t = t.clock
+let shards t = t.nshards
+let shard_of_pid t pid =
+  if pid < 0 || pid >= t.n then invalid_arg "Engine.shard_of_pid: bad pid";
+  t.shard_of.(pid)
+
 let rng t = t.rng
 let network t = t.net
-let stats t = t.stats
+
+(* the shard whose slice the current domain is executing; 0 outside a
+   window phase (the caller's domain is also team member 0) *)
+let self_shard t =
+  if t.nshards = 1 then 0 else Barrier_team.self_index ()
+
+let now t =
+  if t.nshards = 1 then t.shards.(0).clock
+  else
+    match t.phase with
+    | Windows -> t.shards.(self_shard t).clock
+    | Global | Idle -> t.gclock
+
+let current_stamp t =
+  match t.phase with
+  | Idle ->
+    (* setup-time records (initial checkpoints): ordered before every
+       event, in call order *)
+    let k = t.setup_seq in
+    t.setup_seq <- k + 1;
+    (neg_infinity, 0, k)
+  | Global -> (t.gclock, max_int, t.gcur_v)
+  | Windows ->
+    let sh = t.shards.(self_shard t) in
+    (sh.clock, sh.cur_u, sh.cur_v)
+
+let stats t =
+  let acc = fresh_stats () in
+  Array.iter
+    (fun sh ->
+      acc.sent <- acc.sent + sh.st.sent;
+      acc.delivered <- acc.delivered + sh.st.delivered;
+      acc.lost <- acc.lost + sh.st.lost;
+      acc.dropped_down <- acc.dropped_down + sh.st.dropped_down;
+      acc.flushed <- acc.flushed + sh.st.flushed;
+      acc.events <- acc.events + sh.st.events)
+    t.shards;
+  acc
 
 let set_receiver t p f =
   if p < 0 || p >= t.n then invalid_arg "Engine.set_receiver: bad pid";
@@ -58,78 +172,271 @@ let set_receiver t p f =
 
 let send t ?(reliable = false) ~src ~dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Engine.send: bad destination";
-  t.stats.sent <- t.stats.sent + 1;
+  if src < 0 || src >= t.n then invalid_arg "Engine.send: bad source";
+  let mt = t.nshards > 1 in
+  let ss = t.shard_of.(src) in
+  if mt && in_windows t.phase && ss <> Barrier_team.self_index () then
+    invalid_arg "Engine.send: send on behalf of a process of another shard";
+  let sh = t.shards.(ss) in
+  sh.st.sent <- sh.st.sent + 1;
+  let tnow = now t in
   let delivery =
-    match Network.delivery_time t.net ~src ~dst ~now:t.clock with
+    match Network.delivery_time t.net ~src ~dst ~now:tnow with
     | None when reliable ->
       (* reliable control channel: retransmission is abstracted away as a
          delivery at the far end of the delay range *)
-      Some (t.clock +. (Network.config t.net).Network.max_delay)
+      Some (tnow +. (Network.config t.net).Network.max_delay)
     | d -> d
   in
   match delivery with
-  | None -> t.stats.lost <- t.stats.lost + 1
+  | None -> sh.st.lost <- sh.st.lost + 1
   | Some at ->
+    let key = (src * t.n) + dst in
+    let cseq = t.chan_seq.(key) in
+    t.chan_seq.(key) <- cseq + 1;
+    let u = dst lsl 1 and v = (cseq * t.n) + src in
+    let ev = Deliver { src; dst; payload = msg; epoch = t.epoch } in
+    let ds = t.shard_of.(dst) in
     (* deliveries are never cancelled individually (flush works by epoch),
        so skip the handle *)
-    Event_queue.add_unit t.queue ~time:at
-      (Deliver { src; dst; payload = msg; epoch = t.epoch })
+    if mt && in_windows t.phase && ds <> ss then
+      Vec.push
+        t.outbox.((ss * t.nshards) + ds)
+        { p_time = at; p_u = u; p_v = v; p_ev = ev }
+    else Event_queue.add_keyed_unit t.shards.(ds).queue ~time:at ~u ~v ev
 
-let schedule t ?owner ~at f =
-  if at < t.clock then invalid_arg "Engine.schedule: time in the past";
-  Event_queue.add t.queue ~time:at (Action { owner; f })
+let schedule t ?owner ?pin ~at f =
+  if at < now t then invalid_arg "Engine.schedule: time in the past";
+  let routing = match owner with Some _ -> owner | None -> pin in
+  match routing with
+  | Some p ->
+    if p < 0 || p >= t.n then invalid_arg "Engine.schedule: bad pid";
+    let ds = t.shard_of.(p) in
+    if t.nshards > 1 && in_windows t.phase
+       && ds <> Barrier_team.self_index ()
+    then invalid_arg "Engine.schedule: action routed to another shard";
+    let v = t.act_seq.(p) in
+    t.act_seq.(p) <- v + 1;
+    Event_queue.add_keyed t.shards.(ds).queue ~time:at ~u:((p lsl 1) lor 1) ~v
+      (Action { owner; f })
+  | None ->
+    if t.nshards > 1 && in_windows t.phase then
+      invalid_arg
+        "Engine.schedule: global (unrouted) action from inside a shard; \
+         give it an owner or pin";
+    let v = t.glob_seq in
+    t.glob_seq <- v + 1;
+    let q = if t.nshards = 1 then t.shards.(0).queue else t.global in
+    Event_queue.add_keyed q ~time:at ~u:max_int ~v (Action { owner = None; f })
 
-let schedule_in t ?owner ~delay f = schedule t ?owner ~at:(t.clock +. delay) f
+let schedule_in t ?owner ?pin ~delay f =
+  schedule t ?owner ?pin ~at:(now t +. delay) f
 
-let cancel t h = Event_queue.cancel t.queue h
+let cancel _t h = Event_queue.cancel_handle h
 
 let is_up t p = t.up.(p)
-let set_up t p b = t.up.(p) <- b
+
+let set_up t p b =
+  if t.nshards > 1 && in_windows t.phase then
+    invalid_arg "Engine.set_up: only from a barrier context";
+  t.up.(p) <- b
 
 let flush_in_flight t =
+  if t.nshards > 1 && in_windows t.phase then
+    invalid_arg "Engine.flush_in_flight: only from a barrier context";
+  (* mailboxes are empty at any barrier (drained on entry), so bumping the
+     epoch kills precisely the deliveries still queued *)
   t.epoch <- t.epoch + 1;
   Network.reset_order t.net
 
-let execute t = function
+let execute t sh = function
   | Action { owner; f } -> begin
     match owner with
     | Some p when not t.up.(p) -> ()
     | Some _ | None -> f ()
   end
   | Deliver { src; dst; payload; epoch } ->
-    if epoch <> t.epoch then t.stats.flushed <- t.stats.flushed + 1
-    else if not t.up.(dst) then
-      t.stats.dropped_down <- t.stats.dropped_down + 1
+    if epoch <> t.epoch then sh.st.flushed <- sh.st.flushed + 1
+    else if not t.up.(dst) then sh.st.dropped_down <- sh.st.dropped_down + 1
     else begin
       match t.receivers.(dst) with
       | None -> invalid_arg "Engine: delivery to process without receiver"
       | Some f ->
-        t.stats.delivered <- t.stats.delivered + 1;
+        sh.st.delivered <- sh.st.delivered + 1;
         f ~src payload
     end
 
-let step t =
-  match Event_queue.pop t.queue with
+(* --- sequential executor (shards = 1) --------------------------------- *)
+
+let step_shard t sh =
+  match Event_queue.pop sh.queue with
   | None -> false
   | Some (time, ev) ->
-    t.clock <- Float.max t.clock time;
-    t.stats.events <- t.stats.events + 1;
-    execute t ev;
+    if time > sh.clock then sh.clock <- time;
+    sh.cur_u <- Event_queue.last_u sh.queue;
+    sh.cur_v <- Event_queue.last_v sh.queue;
+    sh.st.events <- sh.st.events + 1;
+    execute t sh ev;
     true
 
-let run ?until t =
+let run_seq t ~limit =
+  t.phase <- Windows;
+  let sh = t.shards.(0) in
   let continue () =
-    match until with
-    | None -> not (Event_queue.is_empty t.queue)
-    | Some limit -> begin
-      match Event_queue.peek_time t.queue with
-      | None -> false
-      | Some next -> next <= limit
-    end
+    match Event_queue.peek_time sh.queue with
+    | None -> false
+    | Some next -> next <= limit
   in
   while continue () do
-    ignore (step t)
+    ignore (step_shard t sh)
   done;
-  match until with
-  | Some limit when t.clock < limit -> t.clock <- limit
-  | Some _ | None -> ()
+  t.phase <- Idle;
+  if limit < infinity && sh.clock < limit then sh.clock <- limit;
+  t.gclock <- sh.clock
+
+(* --- windowed executor (shards > 1) ----------------------------------- *)
+
+let min_local_peek t =
+  let m = ref infinity in
+  for s = 0 to t.nshards - 1 do
+    match Event_queue.peek_time t.shards.(s).queue with
+    | Some tm -> if tm < !m then m := tm
+    | None -> ()
+  done;
+  !m
+
+let any_local_le t hi =
+  let found = ref false in
+  for s = 0 to t.nshards - 1 do
+    match Event_queue.peek_time t.shards.(s).queue with
+    | Some tm -> if tm <= hi then found := true
+    | None -> ()
+  done;
+  !found
+
+let drain_outboxes t =
+  let k = t.nshards in
+  for i = 0 to (k * k) - 1 do
+    let box = t.outbox.(i) in
+    if Vec.length box > 0 then begin
+      let q = t.shards.(i mod k).queue in
+      Vec.iter
+        (fun p ->
+          Event_queue.add_keyed_unit q ~time:p.p_time ~u:p.p_u ~v:p.p_v p.p_ev)
+        box;
+      Vec.clear box
+    end
+  done
+
+let process_shard t ~hi ~inclusive s =
+  let sh = t.shards.(s) in
+  let continue () =
+    match Event_queue.peek_time sh.queue with
+    | None -> false
+    | Some tm -> if inclusive then tm <= hi else tm < hi
+  in
+  while continue () do
+    ignore (step_shard t sh)
+  done
+
+(* One parallel slice: every shard processes its events up to [hi], then
+   the caller drains the mailboxes at the barrier.  Mailbox arrivals are
+   at [>= send_time + lookahead >= hi], so nothing can land inside the
+   slice that produced it. *)
+let dispatch t team ~hi ~inclusive =
+  t.phase <- Windows;
+  (match team with
+  | Some team -> Barrier_team.run team (process_shard t ~hi ~inclusive)
+  | None ->
+    for s = 0 to t.nshards - 1 do
+      process_shard t ~hi ~inclusive s
+    done);
+  t.phase <- Global;
+  drain_outboxes t
+
+(* Globals at [boundary], one at a time: a global may schedule routed
+   actions at the same timestamp, whose canonical keys precede the next
+   global's, so the shard slices get a chance to run between globals. *)
+let exec_globals_at t team boundary =
+  let rec go () =
+    match Event_queue.peek_time t.global with
+    | Some g when g = boundary ->
+      (match Event_queue.pop t.global with
+      | None -> ()
+      | Some (_, ev) ->
+        t.gcur_v <- Event_queue.last_v t.global;
+        t.shards.(0).st.events <- t.shards.(0).st.events + 1;
+        execute t t.shards.(0) ev);
+      if any_local_le t boundary then
+        dispatch t team ~hi:boundary ~inclusive:true;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+(* One conservative window.  [w] = earliest pending event anywhere; the
+   window spans [w, boundary) with [boundary] capped by the lookahead,
+   the next global action and the run limit.  Shard slices within the
+   window are causally independent: any cross-shard influence travels
+   through a message, whose delay is at least [lookahead].  When the
+   boundary carries a global action (or is the run limit), the window is
+   closed inclusively — events at exactly [boundary] execute first, which
+   is also where their canonical keys sort — and the globals run at the
+   barrier. *)
+let window_once t team ~limit =
+  let next_local = min_local_peek t in
+  let next_global =
+    match Event_queue.peek_time t.global with Some g -> g | None -> infinity
+  in
+  let w = Float.min next_local next_global in
+  if w = infinity || w > limit then false
+  else begin
+    let boundary =
+      Float.min (w +. t.lookahead) (Float.min next_global limit)
+    in
+    if next_local < boundary then dispatch t team ~hi:boundary ~inclusive:false;
+    if boundary = next_global || boundary = limit then begin
+      if any_local_le t boundary then
+        dispatch t team ~hi:boundary ~inclusive:true;
+      if boundary > t.gclock then t.gclock <- boundary;
+      exec_globals_at t team boundary
+    end;
+    true
+  end
+
+let finish_mt t ~limit =
+  let m =
+    Array.fold_left (fun acc sh -> Float.max acc sh.clock) t.gclock t.shards
+  in
+  t.gclock <- (if limit < infinity && m < limit then limit else m);
+  t.phase <- Idle
+
+let run ?until t =
+  let limit = Option.value until ~default:infinity in
+  if t.nshards = 1 then run_seq t ~limit
+  else begin
+    let team = Barrier_team.create ~size:t.nshards in
+    Fun.protect
+      ~finally:(fun () ->
+        Barrier_team.shutdown team;
+        finish_mt t ~limit)
+      (fun () -> while window_once t (Some team) ~limit do () done)
+  end
+
+let step t =
+  if t.nshards = 1 then begin
+    t.phase <- Windows;
+    let r = step_shard t t.shards.(0) in
+    t.phase <- Idle;
+    t.gclock <- t.shards.(0).clock;
+    r
+  end
+  else begin
+    (* one window, executed on the calling domain — determinism does not
+       depend on parallel dispatch, only throughput does *)
+    let r = window_once t None ~limit:infinity in
+    t.phase <- Idle;
+    t.gclock <-
+      Array.fold_left (fun acc sh -> Float.max acc sh.clock) t.gclock t.shards;
+    r
+  end

@@ -1,10 +1,41 @@
-(** Deterministic discrete-event execution engine.
+(** Deterministic discrete-event execution engine, optionally sharded
+    across OCaml domains.
 
-    An engine owns the virtual clock, the event queue and the channel model.
-    Processes are identified by integers [0 .. n-1].  Two kinds of events
-    exist: message deliveries (created by {!send} through the network
-    model) and scheduled actions (arbitrary closures, used for workload
-    timers, basic-checkpoint timers and fault injection).
+    An engine owns the virtual clock, the event queues and the channel
+    model.  Processes are identified by integers [0 .. n-1].  Two kinds of
+    events exist: message deliveries (created by {!send} through the
+    network model) and scheduled actions (arbitrary closures, used for
+    workload timers, basic-checkpoint timers and fault injection).
+
+    {2 Sharding}
+
+    With [shards = k > 1], processes are partitioned into [k] contiguous
+    blocks, each with its own event queue, and {!run} advances the blocks
+    in parallel on [k] domains using conservative time windows: all
+    shards process events in [\[w, w + L)] before any crosses the
+    boundary, where the lookahead [L] is the network's minimum message
+    delay (hence [shards > 1] requires [min_delay > 0]).  Cross-shard
+    messages travel through per-pair mailboxes drained at the window
+    barrier; since every message takes at least [L] of virtual time, no
+    mailbox arrival can land inside the window that produced it.
+
+    Execution order is {e identical} at every shard count: simultaneous
+    events are ordered by canonical keys that are pure functions of the
+    simulation (destination/owner process and per-channel or per-process
+    counters) rather than insertion order, and the sequential executor
+    replays the same order.  A simulation is therefore a pure function of
+    [(seed, config)] — not of [shards], which only buys wall-clock time.
+
+    Events split into {e routed} events — deliveries, and actions given
+    an [owner] or [pin] — which execute on the process's shard, and
+    {e global} actions (no [owner]/[pin]) which execute at a window
+    barrier on the calling domain, after every routed event of the same
+    timestamp.  Handlers of routed events must stay within their shard:
+    they may send from their own process and schedule actions routed to
+    processes of the same shard, but mutating state owned by another
+    shard, scheduling globals, {!set_up} or {!flush_in_flight} from a
+    routed handler are errors (the engine raises on the ones it can see).
+    Global actions run single-threaded and may do all of the above.
 
     Processes can be marked down ({!set_up}); deliveries and owned actions
     addressed to a down process are silently discarded, which models the
@@ -24,16 +55,37 @@ type stats = {
   mutable events : int;  (** total events executed *)
 }
 
-val create : n:int -> seed:int -> net:Network.config -> unit -> 'msg t
+val create :
+  n:int -> seed:int -> net:Network.config -> ?shards:int -> unit -> 'msg t
+(** [?shards] (default [1]) is clamped to [n].
+    @raise Invalid_argument if [shards > 1] and [net.min_delay <= 0]. *)
 
 val n : _ t -> int
+
+val shards : _ t -> int
+(** Effective shard count (after clamping to [n]). *)
+
+val shard_of_pid : _ t -> int -> int
+(** Which shard executes the given process — a pure function of
+    [(n, shards)].  Used by callers that keep per-shard counters. *)
+
 val now : _ t -> float
+(** Current virtual time of the calling context: inside an event handler,
+    the executing shard's clock (= the event's timestamp); at a barrier or
+    outside {!run}, the global clock. *)
 
 val rng : _ t -> Prng.t
 (** The engine's root generator; split it rather than drawing directly if
     you need an independent stream. *)
 
 val network : _ t -> Network.t
+
+val current_stamp : _ t -> float * int * int
+(** Canonical key [(time, u, v)] of the event the calling context is
+    executing — the engine-wide total order on events.  Outside any event,
+    returns a fresh pre-run stamp that sorts before every event (and
+    advances per call).  The trace uses this as its order source in
+    sharded runs to merge per-process logs deterministically. *)
 
 val set_receiver : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** [set_receiver t p f] installs the delivery callback of process [p].
@@ -44,32 +96,57 @@ val send : 'msg t -> ?reliable:bool -> src:int -> dst:int -> 'msg -> unit
     is not lost) happens at a later virtual time, via the receiver
     callback of [dst].  [?reliable] (default [false]) bypasses the loss
     model — used for the control messages of coordinated GC baselines,
-    which assume reliable channels (the paper's point of contrast). *)
+    which assume reliable channels (the paper's point of contrast).
+    From a routed handler, [src] must belong to the executing shard. *)
 
 val schedule :
-  'msg t -> ?owner:int -> at:float -> (unit -> unit) -> Event_queue.handle
-(** [schedule t ?owner ~at f] runs [f] at virtual time [at].  If [owner] is
-    given and that process is down when the action fires, the action is
-    skipped.  [at] must not precede the current time. *)
+  'msg t ->
+  ?owner:int ->
+  ?pin:int ->
+  at:float ->
+  (unit -> unit) ->
+  Event_queue.handle
+(** [schedule t ?owner ?pin ~at f] runs [f] at virtual time [at].
+    [owner] routes the action to that process's shard {e and} skips it if
+    the process is down when it fires; [pin] routes without the skip
+    (timers that must survive their process being down, e.g. to re-arm).
+    With neither, the action is {e global}: it executes at a window
+    barrier after all routed events of the same timestamp, and must not
+    be scheduled from inside a routed handler of a sharded engine.
+    [at] must not precede the current time. *)
 
 val schedule_in :
-  'msg t -> ?owner:int -> delay:float -> (unit -> unit) -> Event_queue.handle
-(** Convenience wrapper: [schedule] at [now + delay]. *)
+  'msg t ->
+  ?owner:int ->
+  ?pin:int ->
+  delay:float ->
+  (unit -> unit) ->
+  Event_queue.handle
+(** Convenience wrapper: {!schedule} at [now + delay]. *)
 
 val cancel : 'msg t -> Event_queue.handle -> unit
 
 val is_up : _ t -> int -> bool
+
 val set_up : _ t -> int -> bool -> unit
+(** Not callable from a routed handler of a sharded engine (crash and
+    recovery are global actions). *)
 
 val flush_in_flight : _ t -> unit
-(** Drop every message currently in transit and reset FIFO channel order. *)
+(** Drop every message currently in transit and reset FIFO channel order.
+    Not callable from a routed handler of a sharded engine. *)
 
 val step : _ t -> bool
-(** Execute the next event.  Returns [false] if the queue was empty. *)
+(** Execute the next event ([shards = 1]) or the next conservative window
+    on the calling domain ([shards > 1] — same event order as {!run},
+    without parallel dispatch).  Returns [false] if nothing was left. *)
 
 val run : ?until:float -> _ t -> unit
-(** Execute events until the queue is empty or the next event is strictly
+(** Execute events until the queues are empty or the next event is strictly
     after [until].  When stopped by [until], the clock is advanced to
-    [until]. *)
+    [until].  With [shards > 1] this spawns the worker domains for the
+    duration of the call. *)
 
 val stats : _ t -> stats
+(** Counters merged across shards (a fresh record; mutating it does not
+    affect the engine). *)

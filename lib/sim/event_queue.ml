@@ -1,6 +1,12 @@
-(* Binary min-heap over (time, seq).  Cancellation is lazy: a cancelled
-   entry stays in the heap with its [live] flag cleared and is dropped when
-   popped, which keeps all operations O(log n) amortized.
+(* Binary min-heap over (time, u, v, seq).  Cancellation is lazy: a
+   cancelled entry stays in the heap with its [live] flag cleared and is
+   dropped when popped, which keeps all operations O(log n) amortized.
+
+   The (u, v) pair is a caller-supplied canonical key used by the sharded
+   engine to make execution order at equal timestamps a pure function of
+   the simulation, independent of insertion interleaving; the plain
+   {!add}/{!add_unit} entry points set u = v = 0, so their ties fall
+   through to [seq] and keep the historical insertion-order semantics.
 
    Entries are pooled: when an entry leaves the heap (fired or found
    cancelled) it goes onto a free stack and the next [add] recycles it
@@ -16,26 +22,35 @@
    are deliberately outside the hot set). *)
 [@@@lint.zero_alloc_hot
   "before" "swap" "sift_up" "sift_down" "grow" "recycle" "add_entry"
-  "add_unit" "cancel"]
+  "add_unit" "add_keyed_unit" "cancel" "cancel_handle"]
 
 type 'a entry = {
   mutable time : float;
+  mutable u : int;
+  mutable v : int;
   mutable seq : int;
   mutable value : 'a;
   mutable live : bool;
 }
 
-type handle = H : 'a entry * int -> handle
+(* the int ref is the owning queue's live counter, embedded so a handle
+   can be cancelled without naming its queue (the sharded engine routes
+   actions to per-shard queues the caller cannot see) *)
+type handle = H : 'a entry * int * int ref -> handle
 
 type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
-  mutable live_count : int;
+  live_count : int ref;
   (* free stack of recycled entries; a pooled entry keeps its last [value]
      until reuse, so the pool retains at most [pool_size] stale values *)
   mutable free : 'a entry array;
   mutable free_size : int;
+  (* key of the most recently popped entry, so hot loops can read it
+     without the queue boxing a wider result *)
+  mutable last_u : int;
+  mutable last_v : int;
 }
 
 let create () =
@@ -43,12 +58,18 @@ let create () =
     data = [||];
     size = 0;
     next_seq = 0;
-    live_count = 0;
+    live_count = ref 0;
     free = [||];
     free_size = 0;
+    last_u = 0;
+    last_v = 0;
   }
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.u < b.u
+          || (a.u = b.u && (a.v < b.v || (a.v = b.v && a.seq < b.seq)))))
 
 let swap t i j =
   let tmp = t.data.(i) in
@@ -100,42 +121,53 @@ let recycle t entry =
   t.free.(t.free_size) <- entry;
   t.free_size <- t.free_size + 1
 
-let add_entry t ~time value =
+let add_entry t ~time ~u ~v value =
   let entry =
     if t.free_size > 0 then begin
       t.free_size <- t.free_size - 1;
       let entry = t.free.(t.free_size) in
       entry.time <- time;
+      entry.u <- u;
+      entry.v <- v;
       entry.seq <- t.next_seq;
       entry.value <- value;
       entry.live <- true;
       entry
     end
     else
-      ({ time; seq = t.next_seq; value; live = true }
+      ({ time; u; v; seq = t.next_seq; value; live = true }
        [@lint.allow "alloc" "pool miss; steady-state adds reuse a pooled entry"])
   in
   t.next_seq <- t.next_seq + 1;
   grow t entry;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
-  t.live_count <- t.live_count + 1;
+  incr t.live_count;
   sift_up t (t.size - 1);
   entry
 
 let add t ~time value =
-  let entry = add_entry t ~time value in
-  H (entry, entry.seq)
+  let entry = add_entry t ~time ~u:0 ~v:0 value in
+  H (entry, entry.seq, t.live_count)
 
-let add_unit t ~time value = ignore (add_entry t ~time value)
+let add_unit t ~time value = ignore (add_entry t ~time ~u:0 ~v:0 value)
 
-let cancel t (H (entry, seq)) =
+let add_keyed t ~time ~u ~v value =
+  let entry = add_entry t ~time ~u ~v value in
+  H (entry, entry.seq, t.live_count)
+
+let add_keyed_unit t ~time ~u ~v value =
+  ignore (add_entry t ~time ~u ~v value)
+
+let cancel_handle (H (entry, seq, live_count)) =
   (* the seq stamp rejects handles whose entry was recycled for a newer
      event; a merely-popped (not yet reused) entry is caught by [live] *)
   if entry.live && entry.seq = seq then begin
     entry.live <- false;
-    t.live_count <- t.live_count - 1
+    decr live_count
   end
+
+let cancel _t h = cancel_handle h
 
 let pop_entry t =
   if t.size = 0 then None
@@ -154,7 +186,9 @@ let rec pop t =
   | None -> None
   | Some entry ->
     if entry.live then begin
-      t.live_count <- t.live_count - 1;
+      decr t.live_count;
+      t.last_u <- entry.u;
+      t.last_v <- entry.v;
       let result = Some (entry.time, entry.value) in
       recycle t entry;
       result
@@ -163,6 +197,9 @@ let rec pop t =
       recycle t entry;
       pop t
     end
+
+let last_u t = t.last_u
+let last_v t = t.last_v
 
 let rec peek_time t =
   if t.size = 0 then None
@@ -175,8 +212,8 @@ let rec peek_time t =
     end
   end
 
-let is_empty t = t.live_count = 0
+let is_empty t = !(t.live_count) = 0
 
-let length t = t.live_count
+let length t = !(t.live_count)
 
 let pool_size t = t.free_size

@@ -15,9 +15,17 @@ let pp_config ppf c =
 
 type t = {
   cfg : config;
-  rng : Prng.t;
+  (* one independent stream per source process, derived by indexed split
+     from the root: each draw is consumed in the sender's deterministic
+     execution order, so channel randomness is a pure function of the
+     simulation regardless of how sends from different processes
+     interleave in real time (the sharded engine runs senders on
+     different domains) *)
+  streams : Prng.t array;
   n : int;
-  (* last scheduled delivery time per directed channel, for FIFO order *)
+  (* last scheduled delivery time per directed channel, for FIFO order;
+     row [src] is only ever touched while executing [src], so rows are
+     shard-confined *)
   channel_clock : float array;
 }
 
@@ -26,18 +34,24 @@ let create cfg ~n ~rng =
     invalid_arg "Network.create: bad delay bounds";
   if cfg.loss_probability < 0.0 || cfg.loss_probability > 1.0 then
     invalid_arg "Network.create: bad loss probability";
-  { cfg; rng; n; channel_clock = Array.make (n * n) neg_infinity }
+  {
+    cfg;
+    streams = Array.init n (fun src -> Prng.split_at rng ~index:src);
+    n;
+    channel_clock = Array.make (n * n) neg_infinity;
+  }
 
 let config t = t.cfg
 
 let delivery_time t ~src ~dst ~now =
+  let rng = t.streams.(src) in
   if t.cfg.loss_probability > 0.0
-     && Prng.bernoulli t.rng ~p:t.cfg.loss_probability
+     && Prng.bernoulli rng ~p:t.cfg.loss_probability
   then None
   else begin
     let delay =
       if t.cfg.max_delay > t.cfg.min_delay then
-        Prng.uniform_in t.rng ~lo:t.cfg.min_delay ~hi:t.cfg.max_delay
+        Prng.uniform_in rng ~lo:t.cfg.min_delay ~hi:t.cfg.max_delay
       else t.cfg.min_delay
     in
     let at = now +. delay in

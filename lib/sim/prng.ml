@@ -19,6 +19,18 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* Indexed split: child [i] is a pure function of the parent's *current*
+   state and [i]; the parent does not advance, so any number of shards can
+   derive their streams from one root without perturbing each other.  The
+   child state is double-mixed so it never equals a raw output of the
+   parent's own sequential stream. *)
+let split_at t ~index =
+  if index < 0 then invalid_arg "Prng.split_at: index must be non-negative";
+  let z =
+    Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  { state = mix (Int64.logxor (mix z) 0xD1B54A32D192ED03L) }
+
 (* Non-negative 62-bit int extracted from the top bits. *)
 let positive_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

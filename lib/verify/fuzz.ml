@@ -62,7 +62,8 @@ let save_failure ~log ~dir ~sub_seed sc shrunk =
     log (Printf.sprintf "saved %s.min.scn and %s.ml" base base)
 
 let campaign ?(mutate_lgc = false) ?(shrink = true) ?corpus
-    ?(log = fun _ -> ()) ?scratch_dir ~seed ~runs ~max_procs () =
+    ?(log = fun _ -> ()) ?scratch_dir ?(shards = 1) ~seed ~runs ~max_procs ()
+    =
   let corpus_replayed, corpus_failed =
     match corpus with
     | Some dir -> replay_corpus ~mutate_lgc ~log ?scratch_dir dir
@@ -72,7 +73,7 @@ let campaign ?(mutate_lgc = false) ?(shrink = true) ?corpus
   let failures = ref [] in
   for run = 0 to runs - 1 do
     let sub_seed = Int64.to_int (Prng.bits64 root) land max_int in
-    let sc = Scenario.generate ~seed:sub_seed ~max_procs in
+    let sc = Scenario.generate ~shards ~seed:sub_seed ~max_procs () in
     let r = Harness.run ~mutate_lgc ?scratch_dir sc in
     log (Printf.sprintf "run %04d %s: %s" run (Fmt.str "%a" Scenario.pp sc)
            (verdict_of r));

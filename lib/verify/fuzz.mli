@@ -36,6 +36,7 @@ val campaign :
   ?corpus:string ->
   ?log:(string -> unit) ->
   ?scratch_dir:string ->
+  ?shards:int ->
   seed:int ->
   runs:int ->
   max_procs:int ->
@@ -43,4 +44,8 @@ val campaign :
   report
 (** [mutate_lgc] runs the self-check configuration: every collector
     over-collects via {!Rdt_gc.Rdt_lgc.set_test_overcollect}, and the
-    campaign is expected to catch it ([shrink] defaults to [true]). *)
+    campaign is expected to catch it ([shrink] defaults to [true]).
+    [shards] (default 1) runs simulated-mode donor simulations on that
+    many engine shards; generated scenarios and verdicts are identical
+    for every value (shard-count invariance), so a multi-shard campaign
+    doubles as a parallel-engine smoke test. *)

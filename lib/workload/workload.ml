@@ -52,7 +52,12 @@ let default =
     reply_probability = 0.3;
   }
 
-type t = { cfg : config; n : int; rng : Prng.t }
+(* One PRNG stream per process, derived from the supplied root by indexed
+   split: each process's draws are consumed in its own deterministic
+   execution order, so workload randomness is independent of how the
+   engine interleaves processes — a prerequisite for shard-count-invariant
+   simulations. *)
+type t = { cfg : config; n : int; streams : Prng.t array }
 
 let create cfg ~n ~rng =
   if n < 2 then invalid_arg "Workload.create: need at least two processes";
@@ -65,18 +70,18 @@ let create cfg ~n ~rng =
   | Bursty { burst } ->
     if burst <= 0 then invalid_arg "Workload.create: burst must be positive"
   | Uniform | Ring | Pipeline | Broadcast -> ());
-  { cfg; n; rng }
+  { cfg; n; streams = Array.init n (fun me -> Prng.split_at rng ~index:me) }
 
 let config t = t.cfg
 
-let next_send_delay t ~me:_ =
-  Prng.exponential t.rng ~mean:t.cfg.send_mean_interval
+let next_send_delay t ~me =
+  Prng.exponential t.streams.(me) ~mean:t.cfg.send_mean_interval
 
-let next_basic_ckpt_delay t ~me:_ =
-  Prng.exponential t.rng ~mean:t.cfg.basic_ckpt_mean_interval
+let next_basic_ckpt_delay t ~me =
+  Prng.exponential t.streams.(me) ~mean:t.cfg.basic_ckpt_mean_interval
 
 let random_peer t ~me =
-  let other = Prng.int t.rng (t.n - 1) in
+  let other = Prng.int t.streams.(me) (t.n - 1) in
   if other >= me then other + 1 else other
 
 let destinations t ~me =
@@ -90,16 +95,17 @@ let destinations t ~me =
     if me < servers then begin
       (* a server spontaneously gossips to another server when possible *)
       if servers > 1 then begin
-        let other = Prng.int t.rng (servers - 1) in
+        let other = Prng.int t.streams.(me) (servers - 1) in
         [ (if other >= me then other + 1 else other) ]
       end
       else []
     end
-    else [ Prng.int t.rng servers ] (* client calls a random server *)
+    else [ Prng.int t.streams.(me) servers ] (* client calls a random server *)
 
 let reply_destinations t ~me ~src =
   if src = me then []
-  else if not (Prng.bernoulli t.rng ~p:t.cfg.reply_probability) then []
+  else if not (Prng.bernoulli t.streams.(me) ~p:t.cfg.reply_probability) then
+    []
   else begin
     match t.cfg.pattern with
     | Uniform | Bursty _ -> [ src ]
@@ -108,5 +114,6 @@ let reply_destinations t ~me ~src =
     | Broadcast -> [ src ]
     | Client_server { servers } ->
       if me < servers then [ src ] (* server answers the client *)
-      else [ Prng.int t.rng servers ] (* client follows up with a server *)
+      else [ Prng.int t.streams.(me) servers ]
+      (* client follows up with a server *)
   end

@@ -7,6 +7,8 @@ let now () = Unix.gettimeofday () (* EXPECT det/wall-clock *)
 let boot_time () = Unix.time () (* EXPECT det/wall-clock *)
 let cpu () = Sys.time () (* EXPECT det/wall-clock *)
 let spawn f = Domain.spawn f (* EXPECT det/domain-spawn *)
+let bump counter = Atomic.incr counter (* EXPECT det/atomic *)
+let peek counter = Atomic.get counter (* EXPECT det/atomic *)
 
 let sum_values tbl =
   Hashtbl.fold (fun _ v acc -> v + acc) tbl 0 (* EXPECT det/hashtbl-order *)

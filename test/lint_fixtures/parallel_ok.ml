@@ -1,5 +1,6 @@
-(* Domain.spawn is legitimate here: the fixture configuration maps this
-   file into the parallel scope (as lib/parallel/ is in the real one).
-   Must produce zero findings. *)
+(* Domain.spawn and Atomic are legitimate here: the fixture
+   configuration maps this file into the parallel scope (as
+   lib/parallel/ is in the real one).  Must produce zero findings. *)
 
 let run f = Domain.spawn f
+let tick counter = Atomic.fetch_and_add counter 1

@@ -139,6 +139,105 @@ let test_schedule_in_past_rejected () =
     (Invalid_argument "Engine.schedule: time in the past") (fun () ->
       ignore (Engine.schedule e ~at:1.0 (fun () -> ())))
 
+(* --- sharded execution ------------------------------------------------- *)
+
+let test_sharded_cross_shard_delivery () =
+  (* 4 processes on 4 shards; every message crosses a shard boundary
+     through the mailboxes and still arrives exactly once *)
+  let e = Engine.create ~n:4 ~seed:5 ~net:Network.default ~shards:4 () in
+  Alcotest.(check int) "effective shards" 4 (Engine.shards e);
+  let got = ref [] in
+  for p = 0 to 3 do
+    Engine.set_receiver e p (fun ~src msg -> got := (p, src, msg) :: !got)
+  done;
+  Engine.send e ~src:0 ~dst:3 "a";
+  Engine.send e ~src:3 ~dst:1 "b";
+  Engine.send e ~src:1 ~dst:2 "c";
+  Engine.run e;
+  Alcotest.(check (list (triple int int string)))
+    "all delivered once"
+    [ (1, 3, "b"); (2, 1, "c"); (3, 0, "a") ]
+    (List.sort compare !got)
+
+let test_sharded_same_event_order () =
+  (* Drive a message storm and compare the canonical global event order.
+     Within a window, shards execute concurrently, so the wall-clock
+     interleaving across processes is arbitrary — the deterministic
+     object is each process's own log plus the engine's canonical stamp,
+     which merges the logs into one total order (exactly how the trace
+     reconstructs sequence numbers).  Each cell of [per] is only ever
+     touched by its process's shard. *)
+  let run_order shards =
+    let e = Engine.create ~n:4 ~seed:9 ~net:Network.default ~shards () in
+    let per = Array.make 4 [] in
+    for p = 0 to 3 do
+      Engine.set_receiver e p (fun ~src msg ->
+          per.(p) <- (Engine.current_stamp e, p, src, msg) :: per.(p);
+          (* cascade: every delivery triggers another send, round-robin *)
+          if msg < 20 then Engine.send e ~src:p ~dst:((p + 1) mod 4) (msg + 1))
+    done;
+    for p = 0 to 3 do
+      Engine.send e ~src:p ~dst:((p + 1) mod 4) 0
+    done;
+    Engine.run e;
+    Array.to_list per |> List.concat
+    |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+    |> List.map (fun (_, p, src, msg) -> (p, src, msg))
+  in
+  let seq = run_order 1 in
+  Alcotest.(check bool) "some events ran" true (seq <> []);
+  List.iter
+    (fun k ->
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "order at %d shards" k)
+        seq (run_order k))
+    [ 2; 4 ]
+
+let test_pinned_action_fires_when_down () =
+  let e = Engine.create ~n:4 ~seed:5 ~net:Network.default ~shards:2 () in
+  let pinned = ref false and owned = ref false in
+  ignore (Engine.schedule e ~pin:1 ~at:1.0 (fun () -> pinned := true));
+  ignore (Engine.schedule e ~owner:1 ~at:1.0 (fun () -> owned := true));
+  Engine.set_up e 1 false;
+  Engine.run e;
+  Alcotest.(check bool) "pinned fired while down" true !pinned;
+  Alcotest.(check bool) "owned skipped while down" false !owned
+
+let test_shards_require_lookahead () =
+  let net = { Network.default with min_delay = 0.0 } in
+  Alcotest.check_raises "no lookahead"
+    (Invalid_argument
+       "Engine.create: shards > 1 requires positive network min_delay \
+        (conservative windows need non-zero lookahead)") (fun () ->
+      ignore (Engine.create ~n:4 ~seed:5 ~net ~shards:2 () : unit Engine.t))
+
+let test_sharded_global_action_order () =
+  (* a global action scheduled at a window boundary sees every routed
+     event of the same timestamp already executed *)
+  let e = Engine.create ~n:2 ~seed:5 ~net:Network.default ~shards:2 () in
+  let routed = ref 0 and seen_at_global = ref (-1) in
+  ignore (Engine.schedule e ~pin:0 ~at:1.0 (fun () -> incr routed));
+  ignore (Engine.schedule e ~pin:1 ~at:1.0 (fun () -> incr routed));
+  ignore (Engine.schedule e ~at:1.0 (fun () -> seen_at_global := !routed));
+  Engine.run e;
+  Alcotest.(check int) "globals run after same-time routed events" 2
+    !seen_at_global
+
+let test_sharded_stats_merge () =
+  let run shards =
+    let e = Engine.create ~n:4 ~seed:13 ~net:Network.default ~shards () in
+    for p = 0 to 3 do
+      Engine.set_receiver e p (fun ~src:_ msg ->
+          if msg < 10 then Engine.send e ~src:p ~dst:((p + 3) mod 4) (msg + 1))
+    done;
+    Engine.send e ~src:0 ~dst:1 0;
+    Engine.run e;
+    let s = Engine.stats e in
+    (s.Engine.sent, s.Engine.delivered, s.Engine.events)
+  in
+  Alcotest.(check (triple int int int))
+    "merged stats equal sequential" (run 1) (run 4)
+
 let suite =
   [
     Alcotest.test_case "delivery" `Quick test_delivery;
@@ -157,4 +256,15 @@ let suite =
     Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
     Alcotest.test_case "schedule in past rejected" `Quick
       test_schedule_in_past_rejected;
+    Alcotest.test_case "sharded cross-shard delivery" `Quick
+      test_sharded_cross_shard_delivery;
+    Alcotest.test_case "sharded same event order" `Quick
+      test_sharded_same_event_order;
+    Alcotest.test_case "pinned action fires when down" `Quick
+      test_pinned_action_fires_when_down;
+    Alcotest.test_case "shards require lookahead" `Quick
+      test_shards_require_lookahead;
+    Alcotest.test_case "sharded global action order" `Quick
+      test_sharded_global_action_order;
+    Alcotest.test_case "sharded stats merge" `Quick test_sharded_stats_merge;
   ]

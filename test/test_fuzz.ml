@@ -31,8 +31,8 @@ let test_deterministic () =
   Alcotest.(check int) "same failure count"
     (List.length r1.Fuzz.failures)
     (List.length r2.Fuzz.failures);
-  let sc1 = Scenario.generate ~seed:424242 ~max_procs:6 in
-  let sc2 = Scenario.generate ~seed:424242 ~max_procs:6 in
+  let sc1 = Scenario.generate ~seed:424242 ~max_procs:6 () in
+  let sc2 = Scenario.generate ~seed:424242 ~max_procs:6 () in
   Alcotest.(check bool) "generation is a pure function of the seed" true
     (Scenario.equal sc1 sc2)
 
@@ -97,7 +97,7 @@ let test_mutant_caught_and_shrunk () =
 let test_roundtrip () =
   List.iter
     (fun seed ->
-      let sc = Scenario.generate ~seed ~max_procs:6 in
+      let sc = Scenario.generate ~seed ~max_procs:6 () in
       match Scenario.of_string (Scenario.to_string sc) with
       | Error e -> Alcotest.failf "seed %d: reparse failed: %s" seed e
       | Ok sc' ->
@@ -106,7 +106,7 @@ let test_roundtrip () =
     [ 1; 2; 3; 17; 2026; 0x5eed ]
 
 let test_normalize () =
-  let base = Scenario.generate ~seed:1 ~max_procs:3 in
+  let base = Scenario.generate ~seed:1 ~max_procs:3 () in
   let sc =
     {
       base with
@@ -134,7 +134,7 @@ let test_corpus_replay () =
   Harness.rm_rf dir;
   Harness.mkdir_p dir;
   (* save the canonical 3-op mutant killer and replay it as a corpus *)
-  let base = Scenario.generate ~seed:1 ~max_procs:2 in
+  let base = Scenario.generate ~seed:1 ~max_procs:2 () in
   let sc =
     {
       base with
@@ -171,7 +171,7 @@ let test_corpus_replay () =
 let test_durable_epilogue () =
   (* force a durable scenario and check the close/reopen epilogue runs
      clean *)
-  let base = Scenario.generate ~seed:3 ~max_procs:4 in
+  let base = Scenario.generate ~seed:3 ~max_procs:4 () in
   let sc = { base with Scenario.durable = true; store_fault = None } in
   let r = Harness.run ~scratch_dir:scratch sc in
   (match r.Harness.violations with

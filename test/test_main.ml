@@ -26,5 +26,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("fuzz", Test_fuzz.suite);
+      ("shards", Test_shards.suite);
       ("lint", Test_lint.suite);
     ]

@@ -180,7 +180,7 @@ let test_serialization_roundtrip () =
           (Ccp.last_stable c2 pid)
       done;
       (* and fresh message ids do not collide with reloaded ones *)
-      let id = Trace.fresh_msg_id reloaded in
+      let id = Trace.fresh_msg_id reloaded ~pid:0 in
       Alcotest.(check bool) "fresh id beyond the loaded ones" true
         (List.for_all
            (fun (e : Trace.event) ->
