@@ -1,0 +1,13 @@
+module Engine = Rdt_sim.Engine
+module Network = Rdt_sim.Network
+let () =
+  let e = Engine.create ~n:4 ~seed:5 ~net:Network.default ~shards:4 () in
+  for p = 0 to 3 do
+    Engine.set_receiver e p (fun ~src:_ msg ->
+        if msg < 5 then Engine.send e ~src:p ~dst:((p + 1) mod 4) (msg + 1))
+  done;
+  Engine.send e ~src:0 ~dst:3 0;
+  (try
+     while Engine.step e do () done;
+     print_endline "step loop ok"
+   with Invalid_argument m -> Printf.printf "RAISED: %s\n" m)
