@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench figures eval micro smoke bench-json perf perf-smoke fuzz-smoke examples clean
+.PHONY: all build test lint bench figures eval micro smoke bench-json perf perf-smoke fuzz-smoke live-smoke examples clean
 
 all: build
 
@@ -58,6 +58,12 @@ perf-smoke: smoke
 fuzz-smoke:
 	dune exec bin/rdtgc_cli.exe -- fuzz --seed 2026 --runs 500 --max-procs 6 -q
 	dune exec bin/rdtgc_cli.exe -- fuzz --mutate-lgc --seed 7 --runs 10 -q
+
+# live-process runtime smoke (DESIGN.md §14): the committed scenario on a
+# real 3-process localhost TCP cluster — SIGKILL + durable recovery at
+# each crash op — black-box checked against the simulator replay
+live-smoke:
+	dune exec bin/rdtgc_cli.exe -- cluster-run test/corpus/live_smoke.scn --backend exec -q
 
 examples:
 	dune exec examples/quickstart.exe

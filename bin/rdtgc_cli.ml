@@ -579,6 +579,128 @@ let fuzz_cmd =
       const do_fuzz $ seed_arg $ runs_arg $ max_procs_arg $ shrink_arg
       $ corpus_arg $ mutate_arg $ replay_arg $ quiet_arg $ fuzz_shards_arg)
 
+(* --- cluster-run / node --------------------------------------------------- *)
+
+let do_cluster_run scenario_file root backend seed timeout keep quiet =
+  let log = if quiet then fun _ -> () else print_endline in
+  match Rdt_verify.Scenario.load scenario_file with
+  | Error e ->
+    Printf.eprintf "cannot load %s: %s\n" scenario_file e;
+    exit 1
+  | Ok sc ->
+    let root, temp_root =
+      match root with
+      | Some r -> (r, false)
+      | None ->
+        ( Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "rdtgc-cluster-%d" (Unix.getpid ())),
+          true )
+    in
+    Format.printf "%a@." Rdt_verify.Scenario.pp sc;
+    log (Printf.sprintf "cluster root: %s" root);
+    let result =
+      match backend with
+      | `Sim -> Rdt_live.Sim_cluster.run ~scenario:sc ~root ~seed ~log ()
+      | `Fork ->
+        Rdt_live.Cluster.run ~scenario:sc ~root
+          ~backend:Rdt_live.Cluster.Fork ~timeout ~log ()
+      | `Exec ->
+        Rdt_live.Cluster.run ~scenario:sc ~root
+          ~backend:(Rdt_live.Cluster.Exec Sys.executable_name)
+          ~timeout ~log ()
+    in
+    let cleanup ok =
+      if temp_root && ok && not keep then Rdt_verify.Harness.rm_rf root
+      else Printf.printf "stores and logs kept under %s\n" root
+    in
+    (match result with
+    | Error msg ->
+      Printf.eprintf "cluster run failed: %s\n" msg;
+      cleanup false;
+      exit 1
+    | Ok record ->
+      log "cluster run complete; replaying against the simulator";
+      let check = Rdt_live.Checker.check ~record ~root () in
+      (match check.Rdt_live.Checker.violations with
+      | [] ->
+        print_endline "ok: live run matches the simulator replay";
+        cleanup true
+      | vs ->
+        List.iter
+          (fun v -> Format.printf "%a@." Rdt_verify.Oracles.pp_violation v)
+          vs;
+        cleanup false;
+        exit 1))
+
+let cluster_run_cmd =
+  let doc =
+    "Run a scenario file against a live local cluster — one OS process per \
+     scenario pid on loopback TCP, each with its own durable store — then \
+     replay it through the simulator and hold the live run against the \
+     oracles: per-op protocol state, transcript, recovery reports, and \
+     recovered store contents (black-box differential checking).  Crash \
+     ops SIGKILL the victim process and respawn it from its store."
+  in
+  let scenario_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO"
+           ~doc:"Scenario file ($(b,.scn), the fuzzer's corpus format).")
+  in
+  let root_arg =
+    Arg.(value & opt (some string) None & info [ "root" ] ~docv:"DIR"
+           ~doc:"Cluster root: per-node stores and logs live in \
+                 $(docv)/p<pid> (wiped first). Default: a fresh directory \
+                 under the system temp dir, removed when the run passes.")
+  in
+  let backend_arg =
+    Arg.(value & opt (enum [ ("exec", `Exec); ("fork", `Fork); ("sim", `Sim) ])
+           `Exec
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"$(b,exec) spawns this executable per node (default); \
+                   $(b,fork) forks instead; $(b,sim) drives the same node \
+                   logic deterministically inside the simulator.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Simulator seed (only the $(b,sim) backend uses it).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-response coordinator timeout.")
+  in
+  let keep_arg =
+    Arg.(value & flag & info [ "keep" ]
+           ~doc:"Keep the cluster root even when the run passes.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-op output.")
+  in
+  Cmd.v (Cmd.info "cluster-run" ~doc)
+    Term.(
+      const do_cluster_run $ scenario_arg $ root_arg $ backend_arg $ seed_arg
+      $ timeout_arg $ keep_arg $ quiet_arg)
+
+let do_node me dir coord_port =
+  Rdt_live.Cluster.node_main ~me ~dir ~coord_port ()
+
+let node_cmd =
+  let doc =
+    "Run one cluster node process (spawned by $(b,cluster-run); not \
+     intended for direct use)."
+  in
+  let me_arg =
+    Arg.(required & opt (some int) None & info [ "me" ] ~docv:"PID" ~doc:"Node id.")
+  in
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Node directory (durable store under $(docv)/store).")
+  in
+  let coord_port_arg =
+    Arg.(required & opt (some int) None & info [ "coord-port" ] ~docv:"PORT"
+           ~doc:"Coordinator's loopback TCP port.")
+  in
+  Cmd.v (Cmd.info "node" ~doc)
+    Term.(const do_node $ me_arg $ dir_arg $ coord_port_arg)
+
 (* --- lint ---------------------------------------------------------------- *)
 
 let do_lint root dirs baseline json update_baseline output =
@@ -663,5 +785,7 @@ let () =
             figure4_cmd;
             protocols_cmd;
             fuzz_cmd;
+            cluster_run_cmd;
+            node_cmd;
             lint_cmd;
           ]))

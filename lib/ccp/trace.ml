@@ -138,6 +138,9 @@ let fresh_msg_id t ~pid =
   t.next_msg_id.(pid) <- k + 1;
   (k * t.n) + pid
 
+let restore_msg_ids t ~pid ~count =
+  if count > t.next_msg_id.(pid) then t.next_msg_id.(pid) <- count
+
 let last_checkpoint_index t ~pid =
   Vec.fold_left
     (fun acc ev ->

@@ -87,6 +87,13 @@ val fresh_msg_id : t -> pid:int -> int
     interleaving of processes — sharded and sequential runs assign the
     same ids. *)
 
+val restore_msg_ids : t -> pid:int -> count:int -> unit
+(** Raise [pid]'s send counter to at least [count] sends.  The counter is
+    monotone — a rollback erases send events but never reuses their ids —
+    so a process whose trace is rebuilt from surviving history (live-node
+    respawn) must restore the counter past the sends the truncations
+    erased, or it would mint colliding ids.  Lowering is a no-op. *)
+
 val last_checkpoint_index : t -> pid:int -> int
 (** Index of the last stable checkpoint recorded for [pid]; [-1] if none. *)
 

@@ -43,6 +43,16 @@ let create ~me ~store ~dv ~n =
   new_ccb t ~index:0;
   t
 
+let restore ~me ~store ~dv ~n =
+  if Stable_store.count store = 0 then
+    invalid_arg "Rdt_lgc.restore: restored store is empty";
+  (* a crash destroyed UC; Algorithm 3's rollback step rebuilds every slot
+     from retained checkpoints + the restored DV + LI, so a respawned
+     collector starts all-Null and must see a rollback before any other
+     hook fires (the recovery session guarantees it: the faulty process
+     always rolls back) *)
+  { n; me; store; dv; uc = Array.make n None; test_overcollect = false }
+
 let on_new_dependency t j =
   release t j;
   link t j

@@ -39,6 +39,20 @@ val create :
     dependency vector shared with the middleware.
     @raise Invalid_argument if the store does not hold exactly [s^0]. *)
 
+val restore :
+  me:int ->
+  store:Rdt_storage.Stable_store.t ->
+  dv:Rdt_causality.Dependency_vector.t ->
+  n:int ->
+  t
+(** Collector state for a process respawned after a crash: [store] holds
+    the checkpoints that survived and [dv] is the middleware's restored
+    vector ({!Rdt_protocols.Middleware.restore}).  [UC] starts all-Null —
+    the crash destroyed it — and is rebuilt wholesale by {!on_rollback}
+    when the recovery session rolls the process back, which must happen
+    before any other hook fires.
+    @raise Invalid_argument if [store] is empty. *)
+
 val attach : t -> Rdt_protocols.Middleware.t -> unit
 (** Install this collector's {!hooks} on the middleware.  The middleware
     must be freshly created (only [s^0] taken). *)

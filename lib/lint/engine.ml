@@ -300,7 +300,10 @@ let check_ident ctx e path =
     if mem_name name self_init_names then
       error ctx ~loc ~rule:"det/random-self-init"
         ~msg:(name ^ " seeds from the environment; use Prng with an explicit seed");
-    if mem_name name wall_clock_names then
+    if
+      mem_name name wall_clock_names
+      && not (Lint_config.in_realtime ctx.cfg ctx.file)
+    then
       error ctx ~loc ~rule:"det/wall-clock"
         ~msg:(name ^ " reads the wall clock; simulated time must come from the engine");
     if

@@ -10,6 +10,9 @@ type t = {
       (* Domain.spawn and Atomic are legal here *)
   hashtbl_det_prefixes : string list;
       (* order-dependent Hashtbl iteration is banned here *)
+  realtime_prefixes : string list;
+      (* wall-clock reads are legal here: code that runs on real time
+         (the live TCP runtime), never under the simulator's clock *)
   unsafe_allowlist : string list;
       (* files where annotated unsafe indexing is legal *)
 }
@@ -26,6 +29,13 @@ let default =
            bookkeeping and the sharded counters must merge in canonical
            order, never hash order *)
         "lib/ccp/"; "lib/core/"; "lib/metrics/";
+      ];
+    realtime_prefixes =
+      [
+        (* the live-process runtime: OS processes, sockets and timers run
+           on the wall clock by design.  lib/transport is deliberately
+           NOT here — its simulator backend must stay deterministic *)
+        "lib/live/";
       ];
     unsafe_allowlist =
       [
@@ -50,6 +60,7 @@ let matches prefixes path =
 let in_lib t path = matches t.lib_prefixes path
 let in_parallel t path = matches t.parallel_prefixes path
 let in_hashtbl_det t path = matches t.hashtbl_det_prefixes path
+let in_realtime t path = matches t.realtime_prefixes path
 
 let unsafe_allowed t path =
   let path = normalize_path path in

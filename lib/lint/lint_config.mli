@@ -5,6 +5,7 @@ type t = {
   lib_prefixes : string list;
   parallel_prefixes : string list;
   hashtbl_det_prefixes : string list;
+  realtime_prefixes : string list;
   unsafe_allowlist : string list;
 }
 
@@ -12,11 +13,16 @@ val default : t
 (** The project policy: everything under [lib/] is in scope; Domain.spawn
     and Atomic only in [lib/parallel/]; Hashtbl iteration order matters
     in [lib/sim/], [lib/verify/], [lib/scenarios/] and in the
-    shard-merge paths [lib/ccp/], [lib/core/], [lib/metrics/]; unsafe
+    shard-merge paths [lib/ccp/], [lib/core/], [lib/metrics/]; wall-clock
+    reads are legal only in [lib/live/] (the real-time runtime — its
+    transport seam [lib/transport/] stays deterministic); unsafe
     indexing only in the allowlisted files. *)
 
 val normalize_path : string -> string
 val in_lib : t -> string -> bool
 val in_parallel : t -> string -> bool
 val in_hashtbl_det : t -> string -> bool
+
+(** [in_realtime] is the scope where [det/wall-clock] does not apply. *)
+val in_realtime : t -> string -> bool
 val unsafe_allowed : t -> string -> bool

@@ -1,0 +1,155 @@
+(* The local cluster launcher: every scenario process becomes a real OS
+   process on loopback TCP with its own durable store directory under
+   [root/p<pid>], stdout/stderr streamed to [root/p<pid>/node.log].  The
+   coordinator runs in the calling process; kills are SIGKILL (volatile
+   state genuinely lost, the durable log genuinely recovered).
+
+   Two ways to make a node process:
+   - [Fork]: [Unix.fork] and run {!Node.main} in the child — the test
+     backend, no executable needed.
+   - [Exec s]: spawn [s node --me .. --dir .. --coord-port ..] — the CLI
+     backend ({!node_main} is the entry point the subcommand calls). *)
+
+module Transport = Rdt_transport.Transport
+module Harness = Rdt_verify.Harness
+module Scenario = Rdt_verify.Scenario
+
+type backend =
+  | Fork
+  | Exec of string  (** the executable; must route [node] to {!node_main} *)
+
+let node_dir = Sim_cluster.node_dir
+let log_file root pid = Filename.concat (node_dir root pid) "node.log"
+
+(* --- node process bodies ------------------------------------------------ *)
+
+let node_main ~me ~dir ~coord_port () =
+  let tr = Tcp_transport.create ~me () in
+  Transport.connect tr ~dst:Transport.coordinator_id ~port:coord_port;
+  Node.main ~transport:tr ~dir ()
+
+let with_log_fd root pid f =
+  let fd =
+    Unix.openfile (log_file root pid)
+      [ O_WRONLY; O_CREAT; O_APPEND ]
+      0o644
+  in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+
+let spawn_fork ~root ~coord_port pid =
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try
+        with_log_fd root pid (fun fd ->
+            Unix.dup2 fd Unix.stdout;
+            Unix.dup2 fd Unix.stderr);
+        node_main ~me:pid ~dir:(node_dir root pid) ~coord_port ();
+        0
+      with e ->
+        Printf.eprintf "node %d: %s\n%!" pid (Printexc.to_string e);
+        1
+    in
+    (* child: never unwind into the parent's code *)
+    Unix._exit code
+  | child -> child
+
+let spawn_exec ~exe ~root ~coord_port pid =
+  let argv =
+    [|
+      exe; "node";
+      "--me"; string_of_int pid;
+      "--dir"; node_dir root pid;
+      "--coord-port"; string_of_int coord_port;
+    |]
+  in
+  with_log_fd root pid (fun fd ->
+      Unix.create_process exe argv Unix.stdin fd fd)
+
+(* --- process reaping ---------------------------------------------------- *)
+
+let kill_process os_pid =
+  (try Unix.kill os_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] os_pid) with Unix.Unix_error _ -> ()
+
+let reap ~deadline os_pid =
+  let rec go () =
+    match Unix.waitpid [ WNOHANG ] os_pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then kill_process os_pid
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+      end
+    | _ -> ()
+    | exception Unix.Unix_error (ECHILD, _, _) -> ()
+  in
+  go ()
+
+let log_tail root pid ~lines =
+  let path = log_file root pid in
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in path in
+    let all = ref [] in
+    (try
+       while true do
+         all := input_line ic :: !all
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    String.concat "\n" (List.rev (take lines !all))
+  end
+
+(* --- the run ------------------------------------------------------------ *)
+
+let run ~scenario ~root ~backend ?timeout ?log () =
+  let sc = Scenario.normalize scenario in
+  let n = sc.Scenario.n in
+  Harness.rm_rf root;
+  Harness.mkdir_p root;
+  for pid = 0 to n - 1 do
+    Harness.mkdir_p (node_dir root pid)
+  done;
+  let coord = Tcp_transport.create ~me:Transport.coordinator_id () in
+  let coord_port = Transport.listen_port coord in
+  let os_pids = Array.make n 0 in
+  let spawn pid =
+    os_pids.(pid) <-
+      (match backend with
+      | Fork -> spawn_fork ~root ~coord_port pid
+      | Exec exe -> spawn_exec ~exe ~root ~coord_port pid)
+  in
+  let ctl =
+    {
+      Coordinator.kill = (fun pid -> kill_process os_pids.(pid));
+      respawn = spawn;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () -> Transport.close coord)
+    (fun () ->
+      for pid = 0 to n - 1 do
+        spawn pid
+      done;
+      let result = Coordinator.run ~transport:coord ~ctl ~scenario:sc ?timeout ?log () in
+      match result with
+      | Ok record ->
+        (* shutdown commands were acknowledged; give the processes a
+           moment to exit on their own before forcing the issue *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        Array.iter (fun os_pid -> reap ~deadline os_pid) os_pids;
+        Ok record
+      | Error msg ->
+        Array.iter kill_process os_pids;
+        let tails =
+          List.init n (fun pid ->
+              match log_tail root pid ~lines:20 with
+              | "" -> ""
+              | t -> Printf.sprintf "\n--- node %d log tail ---\n%s" pid t)
+        in
+        Error (msg ^ String.concat "" tails))

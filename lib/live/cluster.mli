@@ -1,0 +1,33 @@
+(** Local multi-process cluster over loopback TCP.
+
+    Every scenario process runs as a real OS process with a private
+    durable store under [root/p<pid>/store] and its output streamed to
+    [root/p<pid>/node.log]; the coordinator runs in the calling process.
+    Crash ops SIGKILL the victim and respawn it over the same directory,
+    so recovery exercises the real durable log.  Stores and logs are
+    left in place after the run for {!Checker.check} and post-mortems. *)
+
+type backend =
+  | Fork  (** [Unix.fork] + {!Node.main} in the child (test backend) *)
+  | Exec of string
+      (** spawn [<exe> node --me .. --dir .. --coord-port ..]; the
+          executable must route that subcommand to {!node_main} *)
+
+val node_dir : string -> int -> string
+val log_file : string -> int -> string
+
+val node_main : me:int -> dir:string -> coord_port:int -> unit -> unit
+(** Body of a node process: TCP endpoint, dial the coordinator, run
+    {!Node.main}.  The CLI's hidden [node] subcommand calls this. *)
+
+val run :
+  scenario:Rdt_verify.Scenario.t ->
+  root:string ->
+  backend:backend ->
+  ?timeout:float ->
+  ?log:(string -> unit) ->
+  unit ->
+  (Coordinator.run_record, string) result
+(** Wipe [root], spawn one process per scenario pid, drive the scenario,
+    reap the processes.  On [Error] all processes are killed and each
+    node's log tail is appended to the message. *)

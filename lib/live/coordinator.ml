@@ -1,0 +1,408 @@
+(* The cluster-side scenario driver: plays a {!Rdt_verify.Scenario.t}
+   against live nodes as a serialized workload (one command in flight at
+   a time), mirrors every node-reported trace event into a transcript,
+   and — on a crash op — kills the faulty processes for real, respawns
+   them, and drives a distributed recovery session with the same pure
+   plan ({!Rdt_recovery.Session.plan}) the in-memory session applies.
+
+   The virtual clock mirrors {!Rdt_scenarios.Script.tick} (one unit per
+   op, drops excepted) and travels inside each command, so checkpoint
+   [taken_at] stamps — and hence durable store bytes — are identical to
+   the simulator replay's. *)
+
+module Transport = Rdt_transport.Transport
+module Wire = Rdt_transport.Wire
+module Trace = Rdt_ccp.Trace
+module Global_gc = Rdt_gc.Global_gc
+module Session = Rdt_recovery.Session
+module Scenario = Rdt_verify.Scenario
+module Harness = Rdt_verify.Harness
+
+type ctl = { kill : int -> unit; respawn : int -> unit }
+
+type observation = { obs_op : int; obs_states : (int * Wire.state) list }
+
+type run_record = {
+  rr_scenario : Scenario.t;
+  rr_observations : observation list;
+  rr_trace : string;  (** the mirrored transcript, {!Rdt_ccp.Trace} text *)
+  rr_reports : Session.report list;
+}
+
+exception Failed of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Failed m)) fmt
+
+type t = {
+  tr : Transport.t;
+  ctl : ctl;
+  sc : Scenario.t;
+  timeout : float;
+  log : string -> unit;
+  inbox : Transport.event Queue.t;
+  stash : Transport.event Queue.t;  (* frames a wait skipped over *)
+  mirror : Trace.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable epoch : int;
+  ports : int array;
+  down : bool array;
+  sends_ever : int array;
+  msgs : (int, int * int * int) Hashtbl.t;  (* scenario id -> src, msg_id, dst *)
+  mutable observations : observation list;  (* newest first *)
+  mutable reports : Session.report list;  (* newest first *)
+}
+
+let tick co =
+  co.clock <- co.clock +. 1.0;
+  co.clock
+
+(* --- event plumbing ---------------------------------------------------- *)
+
+let next_event co ~what =
+  let deadline = Transport.now co.tr +. co.timeout in
+  let rec go () =
+    match Queue.take_opt co.inbox with
+    | Some ev -> ev
+    | None -> begin
+      match Transport.poll co.tr ~timeout:1.0 with
+      | `Progress -> go ()
+      | `Timeout ->
+        if Transport.now co.tr > deadline then
+          failf "coordinator: timed out waiting for %s" what
+        else go ()
+      | `Idle -> failf "coordinator: cluster deadlocked waiting for %s" what
+    end
+  in
+  go ()
+
+(* Frames from concurrent nodes arrive in any order (n [Ready]s during
+   registration, say); a frame the current wait does not accept is
+   stashed and offered to later waits instead of treated as fatal. *)
+let await co ~what ~accept =
+  let rec from_stash acc =
+    match Queue.take_opt co.stash with
+    | None ->
+      Queue.transfer acc co.stash;
+      None
+    | Some ev -> begin
+      match accept ev with
+      | Some v ->
+        Queue.transfer co.stash acc;
+        Queue.transfer acc co.stash;
+        Some v
+      | None ->
+        Queue.add ev acc;
+        from_stash acc
+    end
+  in
+  match from_stash (Queue.create ()) with
+  | Some v -> v
+  | None ->
+    let rec live () =
+      let ev = next_event co ~what in
+      match accept ev with
+      | Some v -> v
+      | None -> begin
+        match ev with
+        | Transport.Peer_down { peer } when peer >= 0 && co.down.(peer) ->
+          live () (* the kill we just issued *)
+        | Transport.Peer_down { peer } ->
+          failf "coordinator: node %d died waiting for %s" peer what
+        | Transport.Timer _ -> live ()
+        | Transport.Frame _ ->
+          Queue.add ev co.stash;
+          live ()
+      end
+    in
+    live ()
+
+let send_cmd co ~dst ~now cmd =
+  co.seq <- co.seq + 1;
+  let seq = co.seq in
+  Transport.send co.tr ~dst (Wire.Cmd { seq; now; cmd });
+  seq
+
+let record_events co ~pid evs =
+  List.iter
+    (fun ev ->
+      match (ev : Wire.tev) with
+      | T_ckpt { index } -> Trace.record_checkpoint co.mirror ~pid ~index
+      | T_send { msg_id; dst } ->
+        co.sends_ever.(pid) <- co.sends_ever.(pid) + 1;
+        Trace.record_send co.mirror ~pid ~msg_id ~dst
+      | T_recv { msg_id; src } ->
+        Trace.record_receive co.mirror ~pid ~msg_id ~src)
+    evs
+
+let await_reply co ~from ~seq ~what =
+  let reply =
+    await co ~what ~accept:(function
+      | Transport.Frame { src; frame = Wire.Reply { seq = s; reply } }
+        when src = from && s = seq ->
+        Some reply
+      | _ -> None)
+  in
+  match reply with
+  | Wire.R_error { message } -> failf "node %d: %s (during %s)" from message what
+  | reply -> reply
+
+let command co ~dst ~now ~what cmd =
+  let seq = send_cmd co ~dst ~now cmd in
+  await_reply co ~from:dst ~seq ~what
+
+(* a command whose reply is R_done/R_sent: record events, return state *)
+let simple co ~dst ~now ~what cmd =
+  match command co ~dst ~now ~what cmd with
+  | Wire.R_done { events; state } ->
+    record_events co ~pid:dst events;
+    state
+  | _ -> failf "node %d: wrong reply kind to %s" dst what
+
+let query_state co ~pid =
+  match command co ~dst:pid ~now:co.clock ~what:"state query" Wire.C_state with
+  | Wire.R_state { state } -> state
+  | _ -> failf "node %d: wrong reply kind to state query" pid
+
+let observe co ~op states =
+  co.observations <- { obs_op = op; obs_states = states } :: co.observations
+
+(* --- registration ------------------------------------------------------ *)
+
+let await_hello co ~expect_pid ~expect_recovering =
+  await co ~what:"node registration"
+    ~accept:(function
+      | Transport.Frame { src; frame = Wire.Hello { pid; port; recovering } }
+        when src = pid
+             && (match expect_pid with Some p -> pid = p | None -> true)
+             && recovering = expect_recovering ->
+        Some (pid, port)
+      | _ -> None)
+
+let config_frame co ~history ~sends_ever =
+  Wire.Config
+    {
+      n = co.sc.Scenario.n;
+      protocol = co.sc.Scenario.protocol.Rdt_protocols.Protocol.id;
+      knowledge = co.sc.Scenario.knowledge;
+      ckpt_bytes = 1;
+      epoch = co.epoch;
+      ports = Array.copy co.ports;
+      history;
+      sends_ever;
+    }
+
+let await_ready co ~pid =
+  await co ~what:"node readiness"
+    ~accept:(function
+      | Transport.Frame { src; frame = Wire.Ready { pid = p } }
+        when src = pid && p = pid ->
+        Some ()
+      | _ -> None)
+
+let register_fresh co =
+  let n = co.sc.Scenario.n in
+  for _ = 1 to n do
+    let pid, port = await_hello co ~expect_pid:None ~expect_recovering:false in
+    co.ports.(pid) <- port
+  done;
+  for pid = 0 to n - 1 do
+    Transport.send co.tr ~dst:pid (config_frame co ~history:[] ~sends_ever:0)
+  done;
+  for pid = 0 to n - 1 do
+    await_ready co ~pid
+  done;
+  (* the transcript starts like the simulator's: every process stores s^0
+     (the nodes' bootstrap did it before event capture began) *)
+  for pid = 0 to n - 1 do
+    Trace.record_checkpoint co.mirror ~pid ~index:0
+  done
+
+(* --- crash + recovery session ------------------------------------------ *)
+
+let history_of co ~pid =
+  List.map
+    (fun (ev : Trace.event) ->
+      match ev.Trace.kind with
+      | Trace.Checkpoint { index } -> Wire.T_ckpt { index }
+      | Trace.Send { msg_id; dst } -> Wire.T_send { msg_id; dst }
+      | Trace.Receive { msg_id; src } -> Wire.T_recv { msg_id; src })
+    (Trace.events_of co.mirror ~pid)
+
+let crash_op co ~op ~faulty =
+  let n = co.sc.Scenario.n in
+  let now = tick co in
+  let is_faulty = Array.make n false in
+  List.iter (fun f -> is_faulty.(f) <- true) faulty;
+  (* 1. kill the faulty processes (SIGKILL over TCP, receiver drop in the
+     simulator): volatile state is really lost *)
+  List.iter
+    (fun f ->
+      co.down.(f) <- true;
+      co.ctl.kill f)
+    faulty;
+  (* 2. stop-world flush: survivors discard staged frames and enter the
+     next epoch; frames still in flight die by epoch mismatch *)
+  co.epoch <- co.epoch + 1;
+  for pid = 0 to n - 1 do
+    if not is_faulty.(pid) then
+      ignore
+        (simple co ~dst:pid ~now ~what:"flush" (Wire.C_flush { epoch = co.epoch }))
+  done;
+  (* 3. respawn each faulty process from its durable store, handing it
+     the transcript of its own surviving events (message-id restoration
+     included) *)
+  List.iter
+    (fun f ->
+      co.ctl.respawn f;
+      let _, port = await_hello co ~expect_pid:(Some f) ~expect_recovering:true in
+      co.ports.(f) <- port;
+      co.down.(f) <- false;
+      Transport.send co.tr ~dst:f
+        (config_frame co ~history:(history_of co ~pid:f)
+           ~sends_ever:co.sends_ever.(f));
+      await_ready co ~pid:f)
+    faulty;
+  (* 4. gather every process's stable state — the recovery manager's
+     state query *)
+  let snapshots = Array.make n { Global_gc.entries = [||]; live_dv = [||] } in
+  let last = Array.make n (-1) in
+  for pid = 0 to n - 1 do
+    match
+      command co ~dst:pid ~now ~what:"snapshot" Wire.C_snapshot
+    with
+    | Wire.R_snapshot { entries; live_dv; last = l } ->
+      snapshots.(pid) <-
+        { Global_gc.entries = Array.of_list entries; live_dv };
+      last.(pid) <- l
+    | _ -> failf "node %d: wrong reply kind to snapshot" pid
+  done;
+  (* 5. the same pure decision the in-memory session makes *)
+  let plan = Session.plan ~snapshots ~last ~faulty in
+  let li_arg =
+    match co.sc.Scenario.knowledge with
+    | `Global -> Some plan.Session.p_li
+    | `Causal -> None
+  in
+  for pid = 0 to n - 1 do
+    if plan.Session.p_rollback.(pid) then begin
+      ignore
+        (simple co ~dst:pid ~now ~what:"rollback"
+           (Wire.C_rollback
+              { to_index = plan.Session.p_line.(pid); li = li_arg }));
+      Trace.truncate_to_checkpoint co.mirror ~pid
+        ~index:plan.Session.p_line.(pid)
+    end
+    else begin
+      match co.sc.Scenario.knowledge with
+      | `Global ->
+        ignore
+          (simple co ~dst:pid ~now ~what:"release"
+             (Wire.C_release { li = plan.Session.p_li }))
+      | `Causal -> ()
+    end
+  done;
+  co.reports <- Session.report_of_plan plan ~faulty :: co.reports;
+  (* 6. observe every process, like the replay's post-crash oracles *)
+  observe co ~op (List.init n (fun pid -> (pid, query_state co ~pid)))
+
+(* --- the run ----------------------------------------------------------- *)
+
+let execute co ~op (sop : Scenario.op) =
+  match sop with
+  | Scenario.Checkpoint p ->
+    let now = tick co in
+    let state = simple co ~dst:p ~now ~what:"checkpoint" Wire.C_checkpoint in
+    observe co ~op [ (p, state) ]
+  | Scenario.Send { id; src; dst } ->
+    let now = tick co in
+    begin
+      match command co ~dst:src ~now ~what:"send" (Wire.C_send { dst }) with
+      | Wire.R_sent { msg_id; events; state } ->
+        record_events co ~pid:src events;
+        Hashtbl.replace co.msgs id (src, msg_id, dst);
+        observe co ~op [ (src, state) ]
+      | _ -> failf "node %d: wrong reply kind to send" src
+    end
+  | Scenario.Deliver id -> begin
+    match Hashtbl.find_opt co.msgs id with
+    | None -> failf "scenario op %d delivers unknown message %d" op id
+    | Some (src, msg_id, dst) ->
+      let now = tick co in
+      let state =
+        simple co ~dst ~now ~what:"deliver" (Wire.C_deliver { src; msg_id })
+      in
+      observe co ~op [ (dst, state) ]
+  end
+  | Scenario.Drop id -> begin
+    match Hashtbl.find_opt co.msgs id with
+    | None -> failf "scenario op %d drops unknown message %d" op id
+    | Some (src, msg_id, dst) ->
+      (* no tick: the script clock ignores losses *)
+      let state =
+        simple co ~dst ~now:co.clock ~what:"drop" (Wire.C_drop { src; msg_id })
+      in
+      observe co ~op [ (dst, state) ]
+  end
+  | Scenario.Crash faulty -> crash_op co ~op ~faulty
+
+let trace_to_string trace =
+  let path = Filename.temp_file "rdtgc-live-trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      Trace.to_channel trace oc;
+      close_out oc;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s)
+
+let run ~transport ~ctl ~scenario ?(timeout = 60.0) ?(log = ignore) () =
+  let sc = Scenario.normalize scenario in
+  let co =
+    {
+      tr = transport;
+      ctl;
+      sc;
+      timeout;
+      log;
+      inbox = Queue.create ();
+      stash = Queue.create ();
+      mirror = Trace.create ~n:sc.Scenario.n;
+      clock = 0.0;
+      seq = 0;
+      epoch = 0;
+      ports = Array.make sc.Scenario.n 0;
+      down = Array.make sc.Scenario.n false;
+      sends_ever = Array.make sc.Scenario.n 0;
+      msgs = Hashtbl.create 64;
+      observations = [];
+      reports = [];
+    }
+  in
+  Transport.set_handler co.tr (fun ev -> Queue.add ev co.inbox);
+  match
+    co.log "registering nodes";
+    register_fresh co;
+    List.iteri
+      (fun op sop ->
+        co.log (Format.asprintf "op %d: %a" op Scenario.pp_op sop);
+        execute co ~op sop)
+      sc.Scenario.ops;
+    co.log "shutting down";
+    for pid = 0 to sc.Scenario.n - 1 do
+      ignore (simple co ~dst:pid ~now:co.clock ~what:"shutdown" Wire.C_shutdown)
+    done
+  with
+  | () ->
+    Ok
+      {
+        rr_scenario = sc;
+        rr_observations = List.rev co.observations;
+        rr_trace = trace_to_string co.mirror;
+        rr_reports = List.rev co.reports;
+      }
+  | exception Failed msg -> Error msg

@@ -1,0 +1,319 @@
+(* One live process of the cluster: the full protocol stack (middleware +
+   RDT-LGC + durable store + local transcript) behind a transport
+   endpoint.  The node is purely reactive — it answers coordinator
+   commands and stages peer App frames — and backend-agnostic: the same
+   logic runs over TCP sockets (its own OS process) and inside the
+   deterministic simulator.
+
+   Delivery is staged: an inbound App frame is held until the coordinator
+   commands its delivery (C_deliver names the exact message), which is
+   how the live cluster realizes a scenario's explicit interleaving over
+   channels with their own timing.  Frames carry an epoch; a crash bumps
+   it (C_flush), so stragglers from before a recovery session are
+   discarded exactly like the in-transit messages a stop-world session
+   flushes. *)
+
+module Transport = Rdt_transport.Transport
+module Wire = Rdt_transport.Wire
+module Trace = Rdt_ccp.Trace
+module Dependency_vector = Rdt_causality.Dependency_vector
+module Stable_store = Rdt_storage.Stable_store
+module Log_store = Rdt_store.Log_store
+module Protocol = Rdt_protocols.Protocol
+module Middleware = Rdt_protocols.Middleware
+module Control = Rdt_protocols.Control
+module Rdt_lgc = Rdt_gc.Rdt_lgc
+module Harness = Rdt_verify.Harness
+
+type sys = {
+  n : int;
+  mw : Middleware.t;
+  lgc : Rdt_lgc.t;
+  store : Stable_store.t;
+  log : Log_store.t;
+  trace : Trace.t;
+}
+
+type armed = { a_seq : int; a_now : float; a_src : int; a_msg_id : int }
+
+type t = {
+  tr : Transport.t;
+  me : int;
+  dir : string;
+  mutable epoch : int;
+  mutable sys : sys option;
+  staged : (int * int, int array * int) Hashtbl.t;
+      (* (src, msg_id) -> piggybacked (dv, control index) *)
+  doomed : (int * int, unit) Hashtbl.t;
+      (* dropped before the frame arrived; discard on arrival *)
+  mutable armed : armed option;
+      (* delivery commanded before the frame arrived; reply deferred *)
+  mutable events : Wire.tev list;  (* newest first, drained per reply *)
+  mutable finished : bool;
+}
+
+let store_dir t = Filename.concat t.dir "store"
+
+let tev_of (ev : Trace.event) =
+  match ev.kind with
+  | Trace.Checkpoint { index } -> Wire.T_ckpt { index }
+  | Trace.Send { msg_id; dst } -> Wire.T_send { msg_id; dst }
+  | Trace.Receive { msg_id; src } -> Wire.T_recv { msg_id; src }
+
+let drain t =
+  let evs = List.rev t.events in
+  t.events <- [];
+  evs
+
+let state_of sys =
+  {
+    Wire.st_dv = Dependency_vector.to_array (Middleware.dv sys.mw);
+    st_uc = Rdt_lgc.uc_view sys.lgc;
+    st_retained = Array.of_list (Stable_store.retained_indices sys.store);
+    st_app = Middleware.app_state sys.mw;
+  }
+
+let reply t ~seq reply =
+  Transport.send t.tr ~dst:Transport.coordinator_id (Wire.Reply { seq; reply })
+
+let sys_exn t =
+  match t.sys with
+  | Some sys -> sys
+  | None -> failwith "node: command before configuration"
+
+(* --- boot -------------------------------------------------------------- *)
+
+let boot t ~n ~protocol ~ckpt_bytes ~epoch ~(history : Wire.tev list)
+    ~sends_ever =
+  let protocol =
+    match Protocol.by_id protocol with
+    | Some p -> p
+    | None -> failwith ("node: unknown protocol " ^ protocol)
+  in
+  t.epoch <- epoch;
+  let dir = store_dir t in
+  let trace = Trace.create ~n in
+  let log = Log_store.create ~config:Harness.log_config ~pid:t.me ~dir () in
+  let sys =
+    if List.is_empty history then begin
+      (* fresh start: the middleware stores s^0 through the durable
+         backend, exactly like the simulator's bootstrap *)
+      let store = Stable_store.create ~me:t.me in
+      Stable_store.set_backend store (Log_store.backend log);
+      let mw =
+        Middleware.create ~n ~me:t.me ~protocol ~trace ~ckpt_bytes ~store ()
+      in
+      let lgc =
+        Rdt_lgc.create ~me:t.me ~store ~dv:(Middleware.dv mw) ~n
+      in
+      Rdt_lgc.attach lgc mw;
+      { n; mw; lgc; store; log; trace }
+    end
+    else begin
+      (* respawn after a kill: volatile state is rebuilt from what the
+         durable log recovered plus the coordinator's transcript of our
+         own pre-crash events *)
+      let recovered = (Log_store.recovery log).Log_store.recovered in
+      let store = Stable_store.restore ~me:t.me ~entries:recovered in
+      Stable_store.set_backend store (Log_store.backend log);
+      List.iter
+        (fun ev ->
+          match (ev : Wire.tev) with
+          | T_ckpt { index } -> Trace.record_checkpoint trace ~pid:t.me ~index
+          | T_send { msg_id; dst } ->
+            Trace.record_send trace ~pid:t.me ~msg_id ~dst
+          | T_recv { msg_id; src } ->
+            Trace.record_receive trace ~pid:t.me ~msg_id ~src)
+        history;
+      (* ids are monotone across rollbacks: restore the counter past the
+         sends the erased history performed *)
+      Trace.restore_msg_ids trace ~pid:t.me ~count:sends_ever;
+      let mw =
+        Middleware.restore ~n ~me:t.me ~protocol ~trace ~ckpt_bytes ~store ()
+      in
+      let lgc = Rdt_lgc.restore ~me:t.me ~store ~dv:(Middleware.dv mw) ~n in
+      Rdt_lgc.attach lgc mw;
+      { n; mw; lgc; store; log; trace }
+    end
+  in
+  (* subscribe only now: neither the s^0 bootstrap nor the history replay
+     is a new event as far as the coordinator's transcript is concerned *)
+  Trace.on_event trace (fun ev -> t.events <- tev_of ev :: t.events);
+  t.sys <- Some sys
+
+(* --- delivery ---------------------------------------------------------- *)
+
+let do_deliver sys ~now ~src ~msg_id ~dv ~index =
+  Middleware.receive sys.mw
+    { Middleware.msg_id; src; control = Control.make ~dv ~index }
+    ~now
+
+let handle_app t ~src ~(frame_epoch : int) ~msg_id ~dv ~index =
+  if frame_epoch = t.epoch then begin
+    match t.armed with
+    | Some a when a.a_src = src && a.a_msg_id = msg_id ->
+      t.armed <- None;
+      let sys = sys_exn t in
+      do_deliver sys ~now:a.a_now ~src ~msg_id ~dv ~index;
+      reply t ~seq:a.a_seq (Wire.R_done { events = drain t; state = state_of sys })
+    | _ ->
+      if Hashtbl.mem t.doomed (src, msg_id) then
+        Hashtbl.remove t.doomed (src, msg_id)
+      else Hashtbl.replace t.staged (src, msg_id) (dv, index)
+  end
+(* stale epoch: the frame was in flight across a recovery session and the
+   stop-world flush already discarded it logically *)
+
+(* --- commands ---------------------------------------------------------- *)
+
+let handle_cmd t ~seq ~now cmd =
+  match (cmd : Wire.cmd) with
+  | C_checkpoint ->
+    let sys = sys_exn t in
+    Middleware.basic_checkpoint sys.mw ~now;
+    reply t ~seq (Wire.R_done { events = drain t; state = state_of sys })
+  | C_send { dst } ->
+    let sys = sys_exn t in
+    let m = Middleware.prepare_send sys.mw ~dst ~now in
+    Transport.send t.tr ~dst
+      (Wire.App
+         {
+           epoch = t.epoch;
+           msg_id = m.Middleware.msg_id;
+           src = t.me;
+           dv = m.Middleware.control.Control.dv;
+           index = m.Middleware.control.Control.index;
+         });
+    reply t ~seq
+      (Wire.R_sent
+         { msg_id = m.Middleware.msg_id; events = drain t;
+           state = state_of sys })
+  | C_deliver { src; msg_id } -> begin
+    match Hashtbl.find_opt t.staged (src, msg_id) with
+    | Some (dv, index) ->
+      Hashtbl.remove t.staged (src, msg_id);
+      let sys = sys_exn t in
+      do_deliver sys ~now ~src ~msg_id ~dv ~index;
+      reply t ~seq (Wire.R_done { events = drain t; state = state_of sys })
+    | None ->
+      (* frame still in flight: deliver (and reply) on arrival *)
+      t.armed <- Some { a_seq = seq; a_now = now; a_src = src; a_msg_id = msg_id }
+  end
+  | C_drop { src; msg_id } ->
+    if Hashtbl.mem t.staged (src, msg_id) then
+      Hashtbl.remove t.staged (src, msg_id)
+    else Hashtbl.replace t.doomed (src, msg_id) ();
+    let sys = sys_exn t in
+    reply t ~seq (Wire.R_done { events = drain t; state = state_of sys })
+  | C_flush { epoch } ->
+    t.epoch <- epoch;
+    Hashtbl.reset t.staged;
+    Hashtbl.reset t.doomed;
+    t.armed <- None;
+    let sys = sys_exn t in
+    reply t ~seq (Wire.R_done { events = drain t; state = state_of sys })
+  | C_snapshot ->
+    let sys = sys_exn t in
+    reply t ~seq
+      (Wire.R_snapshot
+         {
+           entries = Stable_store.retained sys.store;
+           live_dv = Dependency_vector.to_array (Middleware.dv sys.mw);
+           last = Stable_store.last_index sys.store;
+         })
+  | C_rollback { to_index; li } ->
+    let sys = sys_exn t in
+    Middleware.rollback sys.mw ~to_index ~li;
+    reply t ~seq (Wire.R_done { events = drain t; state = state_of sys })
+  | C_release { li } ->
+    let sys = sys_exn t in
+    Rdt_lgc.release_outdated sys.lgc ~li;
+    reply t ~seq (Wire.R_done { events = drain t; state = state_of sys })
+  | C_state ->
+    let sys = sys_exn t in
+    reply t ~seq (Wire.R_state { state = state_of sys })
+  | C_shutdown ->
+    let sys = sys_exn t in
+    Log_store.close sys.log;
+    t.finished <- true;
+    reply t ~seq (Wire.R_done { events = drain t; state = state_of sys })
+
+(* --- event handler ----------------------------------------------------- *)
+
+let handle t (ev : Transport.event) =
+  match ev with
+  | Transport.Frame { src; frame = Wire.App { epoch; msg_id; src = _; dv; index } }
+    ->
+    handle_app t ~src ~frame_epoch:epoch ~msg_id ~dv ~index
+  | Transport.Frame { src; frame = Wire.Cmd { seq; now; cmd } }
+    when src = Transport.coordinator_id -> begin
+    try handle_cmd t ~seq ~now cmd
+    with e ->
+      reply t ~seq (Wire.R_error { message = Printexc.to_string e })
+  end
+  | Transport.Frame
+      { src;
+        frame =
+          Wire.Config
+            { n; protocol; knowledge = _; ckpt_bytes; epoch; ports; history;
+              sends_ever } }
+    when src = Transport.coordinator_id ->
+    let recovering = not (List.is_empty history) in
+    boot t ~n ~protocol ~ckpt_bytes ~epoch ~history ~sends_ever;
+    (* establish the peer mesh: on a fresh start lower ids are dialed by
+       higher ids (one link per pair); a respawned node redials everyone,
+       and the peers' transports swap in the new link *)
+    for j = 0 to n - 1 do
+      if j <> t.me && (recovering || j < t.me) then
+        Transport.connect t.tr ~dst:j ~port:ports.(j)
+    done;
+    Transport.send t.tr ~dst:Transport.coordinator_id
+      (Wire.Ready { pid = t.me })
+  | Transport.Frame { src = _; frame = Wire.Hello _ }
+  | Transport.Frame { src = _; frame = Wire.Ident _ }
+  | Transport.Frame { src = _; frame = Wire.Ready _ }
+  | Transport.Frame { src = _; frame = Wire.Reply _ }
+  | Transport.Frame { src = _; frame = Wire.Cmd _ }
+  | Transport.Frame { src = _; frame = Wire.Config _ }
+  | Transport.Peer_down _ | Transport.Timer _ ->
+    ()
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let create ~transport ~dir () =
+  let me = Transport.me transport in
+  Harness.mkdir_p dir;
+  let t =
+    {
+      tr = transport;
+      me;
+      dir;
+      epoch = 0;
+      sys = None;
+      staged = Hashtbl.create 16;
+      doomed = Hashtbl.create 16;
+      armed = None;
+      events = [];
+      finished = false;
+    }
+  in
+  let sdir = store_dir t in
+  let recovering =
+    Sys.file_exists sdir && Array.length (Sys.readdir sdir) > 0
+  in
+  Transport.set_handler transport (handle t);
+  Transport.send transport ~dst:Transport.coordinator_id
+    (Wire.Hello
+       { pid = me; port = Transport.listen_port transport; recovering });
+  t
+
+let finished t = t.finished
+
+let main ~transport ~dir () =
+  let t = create ~transport ~dir () in
+  while not t.finished do
+    match Transport.poll transport ~timeout:1.0 with
+    | `Progress | `Timeout -> ()
+    | `Idle -> failwith "node: transport went idle"
+  done;
+  Transport.close transport

@@ -1,0 +1,18 @@
+(** The simulator-backed cluster: coordinator and all nodes in this
+    process over {!Rdt_transport.Sim_backend}, with real durable stores
+    under [root/p<pid>/store].  Deterministic: a run is a pure function
+    of [(scenario, seed)] — two runs yield byte-identical run records
+    (the live–sim differential's control arm). *)
+
+val node_dir : string -> int -> string
+(** [node_dir root pid] — the node's private directory. *)
+
+val run :
+  scenario:Rdt_verify.Scenario.t ->
+  root:string ->
+  ?seed:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  (Coordinator.run_record, string) result
+(** Wipes [root], spawns [n] in-process nodes, drives the scenario.
+    Store directories are left in place for the checker. *)

@@ -1,0 +1,286 @@
+(* The real-network backend: one listening socket per endpoint on
+   127.0.0.1, length-prefixed CRC-framed {!Rdt_transport.Wire} frames
+   over TCP, a select-based poll loop with timers.
+
+   Socket-to-pid mapping is by transport-level preamble: every outbound
+   connection starts with an [Ident] frame naming the dialing endpoint,
+   and an inbound connection surfaces nothing until that preamble
+   arrives.  Re-identification replaces the previous mapping (a
+   respawned process dialing back in); the stale socket then dies
+   without a [Peer_down].  Frames queued for a peer that has not
+   connected yet wait in a pending queue — the coordinator never dials
+   nodes, its replies ride the inbound connections. *)
+
+module Transport = Rdt_transport.Transport
+module Wire = Rdt_transport.Wire
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable peer : int option;  (* set by the Ident preamble *)
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable alive : bool;
+}
+
+type t = {
+  me : int;
+  listen_fd : Unix.file_descr;
+  port : int;
+  mailbox : Transport.Mailbox.t;
+  mutable conns : conn list;
+  by_peer : (int, conn) Hashtbl.t;
+  pending_out : (int, Wire.frame Queue.t) Hashtbl.t;
+  timers : (int, float) Hashtbl.t;  (* id -> absolute deadline *)
+  mutable closed : bool;
+}
+
+let grow c need =
+  let cap = Bytes.length c.rbuf in
+  if c.rlen + need > cap then begin
+    let cap' = max (c.rlen + need) (cap * 2) in
+    let b = Bytes.create cap' in
+    Bytes.blit c.rbuf 0 b 0 c.rlen;
+    c.rbuf <- b
+  end
+
+let new_conn fd =
+  Unix.set_nonblock fd;
+  { fd; peer = None; rbuf = Bytes.create 4096; rlen = 0; alive = true }
+
+(* --- write side -------------------------------------------------------- *)
+
+exception Conn_dead of conn
+
+let write_all conn bytes =
+  (* Frames are small (< max_frame_bytes) and peers drain their sockets
+     in every poll, so a briefly-full buffer just spins here. *)
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write conn.fd bytes !pos (len - !pos) with
+    | w -> pos := !pos + w
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ conn.fd ] [] 1.0)
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+      raise (Conn_dead conn)
+  done
+
+let bury t conn ~notify =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    match conn.peer with
+    | Some peer when Hashtbl.find_opt t.by_peer peer == Some conn ->
+      Hashtbl.remove t.by_peer peer;
+      if notify then
+        Transport.Mailbox.deliver t.mailbox (Transport.Peer_down { peer })
+    | _ -> ()
+  end
+
+let send_on t conn frame =
+  try write_all conn (Wire.encode frame)
+  with Conn_dead c -> bury t c ~notify:true
+
+let send t ~dst frame =
+  match Hashtbl.find_opt t.by_peer dst with
+  | Some conn -> send_on t conn frame
+  | None ->
+    let q =
+      match Hashtbl.find_opt t.pending_out dst with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.pending_out dst q;
+        q
+    in
+    Queue.add frame q
+
+let flush_pending t peer conn =
+  match Hashtbl.find_opt t.pending_out peer with
+  | None -> ()
+  | Some q ->
+    Hashtbl.remove t.pending_out peer;
+    Queue.iter (fun frame -> send_on t conn frame) q
+
+(* --- read side --------------------------------------------------------- *)
+
+let identify t conn pid =
+  conn.peer <- Some pid;
+  (match Hashtbl.find_opt t.by_peer pid with
+  | Some old when old != conn ->
+    (* a respawned process dialed back in: the old socket is stale and
+       its eventual EOF must not read as a fresh death *)
+    bury t old ~notify:false
+  | _ -> ());
+  Hashtbl.replace t.by_peer pid conn;
+  flush_pending t pid conn
+
+let drain_frames t conn =
+  let again = ref true in
+  while !again && conn.alive do
+    again := false;
+    if conn.rlen >= Wire.header_bytes then begin
+      match Wire.decode_header conn.rbuf ~pos:0 ~len:conn.rlen with
+      | Error (Wire.Truncated _) -> ()
+      | Error _ -> bury t conn ~notify:true
+      | Ok header ->
+        let total = Wire.header_bytes + header.Wire.h_len in
+        if conn.rlen >= total then begin
+          match
+            Wire.decode_body header conn.rbuf ~pos:Wire.header_bytes
+              ~len:conn.rlen
+          with
+          | Error _ -> bury t conn ~notify:true
+          | Ok frame ->
+            Bytes.blit conn.rbuf total conn.rbuf 0 (conn.rlen - total);
+            conn.rlen <- conn.rlen - total;
+            again := true;
+            (match (frame, conn.peer) with
+            | Wire.Ident { pid }, _ -> identify t conn pid
+            | _, Some peer ->
+              Transport.Mailbox.deliver t.mailbox
+                (Transport.Frame { src = peer; frame })
+            | _, None ->
+              (* protocol violation: the preamble must come first *)
+              bury t conn ~notify:false)
+        end
+    end
+  done
+
+let read_ready t conn =
+  grow conn 4096;
+  match Unix.read conn.fd conn.rbuf conn.rlen (Bytes.length conn.rbuf - conn.rlen) with
+  | 0 -> bury t conn ~notify:true
+  | k ->
+    conn.rlen <- conn.rlen + k;
+    drain_frames t conn
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+    bury t conn ~notify:true
+
+let accept_ready t =
+  match Unix.accept t.listen_fd with
+  | fd, _ -> t.conns <- new_conn fd :: t.conns
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+
+(* --- timers ------------------------------------------------------------ *)
+
+let fire_timers t =
+  let now = Unix.gettimeofday () in
+  let due =
+    Hashtbl.fold
+      (fun id deadline acc -> if deadline <= now then id :: acc else acc)
+      t.timers []
+  in
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.timers id;
+      Transport.Mailbox.deliver t.mailbox (Transport.Timer { id }))
+    (List.sort compare due)
+
+let next_deadline t =
+  Hashtbl.fold
+    (fun _ d acc ->
+      match acc with None -> Some d | Some a -> Some (min a d))
+    t.timers None
+
+(* --- the endpoint ------------------------------------------------------ *)
+
+let poll t ~timeout =
+  if t.closed then `Idle
+  else begin
+    let before = Transport.Mailbox.delivered t.mailbox in
+    let wait =
+      let cap =
+        match next_deadline t with
+        | None -> timeout
+        | Some d -> min timeout (max 0.0 (d -. Unix.gettimeofday ()))
+      in
+      max 0.0 cap
+    in
+    let conns = t.conns in
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) conns in
+    (match Unix.select fds [] [] wait with
+    | readable, _, _ ->
+      (* fd values compare physically: on Unix a file_descr is an int.
+         Reads first, accept after — a conn buried mid-loop has its fd
+         closed, and accepting last keeps a reused fd number from being
+         read as the old connection. *)
+      List.iter
+        (fun conn ->
+          if conn.alive && List.memq conn.fd readable then read_ready t conn)
+        conns;
+      if List.memq t.listen_fd readable then accept_ready t
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    fire_timers t;
+    if Transport.Mailbox.delivered t.mailbox > before then `Progress
+    else `Timeout
+  end
+
+let connect t ~dst ~port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.setsockopt fd TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let conn = new_conn fd in
+  conn.peer <- Some dst;
+  t.conns <- conn :: t.conns;
+  (match Hashtbl.find_opt t.by_peer dst with
+  | Some old when old != conn -> bury t old ~notify:false
+  | _ -> ());
+  Hashtbl.replace t.by_peer dst conn;
+  send_on t conn (Wire.Ident { pid = t.me });
+  flush_pending t dst conn
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+    t.conns <- [];
+    Hashtbl.reset t.by_peer;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+  end
+
+let create ~me () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd SO_REUSEADDR true;
+  Unix.bind listen_fd (ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, port) -> port
+    | ADDR_UNIX _ -> assert false
+  in
+  let t =
+    {
+      me;
+      listen_fd;
+      port;
+      mailbox = Transport.Mailbox.create ();
+      conns = [];
+      by_peer = Hashtbl.create 16;
+      pending_out = Hashtbl.create 16;
+      timers = Hashtbl.create 8;
+      closed = false;
+    }
+  in
+  {
+    Transport.me;
+    now = Unix.gettimeofday;
+    send = (fun ~dst frame -> send t ~dst frame);
+    connect = (fun ~dst ~port -> connect t ~dst ~port);
+    listen_port = port;
+    set_timer =
+      (fun ~id ~after ->
+        Hashtbl.replace t.timers id (Unix.gettimeofday () +. after));
+    set_handler = (fun h -> Transport.Mailbox.set t.mailbox h);
+    poll = (fun ~timeout -> poll t ~timeout);
+    close = (fun () -> close t);
+  }

@@ -1,0 +1,16 @@
+(** The real-network transport backend: framed {!Rdt_transport.Wire}
+    frames over loopback TCP, a select-based poll loop, wall-clock
+    timers.
+
+    Endpoints listen on an ephemeral 127.0.0.1 port
+    ({!Rdt_transport.Transport.listen_port}); outbound connections open
+    with an [Ident] preamble so the accepting side can map the socket to
+    a pid, and frames sent to a peer that has not connected yet wait in
+    a pending queue until it does.  A peer's socket dying (EOF, reset)
+    surfaces as [Peer_down] unless a newer connection from the same pid
+    already replaced it (respawn). *)
+
+val create : me:int -> unit -> Rdt_transport.Transport.t
+(** A fresh endpoint for [me] (pass
+    {!Rdt_transport.Transport.coordinator_id} for the coordinator).
+    Installs a SIGPIPE-ignore handler. *)

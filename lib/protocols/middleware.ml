@@ -98,6 +98,45 @@ let create ~n ~me ~protocol ~trace ?(ckpt_bytes = 1) ?store () =
   t.basic_count <- 0;
   t
 
+let restore ~n ~me ~protocol ~trace ?(ckpt_bytes = 1) ~store () =
+  let entries = Stable_store.retained store in
+  let last =
+    match List.rev entries with
+    | [] -> invalid_arg "Middleware.restore: restored store is empty"
+    | e :: _ -> e
+  in
+  let dv = Dependency_vector.create ~n in
+  (* Algorithm 3 lines 4-6 applied to the last surviving checkpoint: the
+     volatile state a crash destroyed is exactly what a rollback discards,
+     so a respawned process is a process rolled back to its last stable
+     checkpoint.  The recovery session that follows the respawn never
+     reads this provisional DV (the recovery line of a faulty process is
+     computed from stored vectors only). *)
+  Dependency_vector.blit_into
+    ~src:(Dependency_vector.of_view last.Stable_store.dv)
+    ~dst:dv;
+  Dependency_vector.increment dv me;
+  {
+    n;
+    me;
+    proto = protocol.Protocol.make ~n ~me;
+    proto_name = protocol.Protocol.id;
+    trace;
+    store;
+    archive =
+      Rdt_storage.Dv_archive.restore ~me
+        ~entries:
+          (List.map
+             (fun (e : Stable_store.entry) -> (e.index, e.dv))
+             entries);
+    dv;
+    ckpt_bytes;
+    hooks = no_hooks;
+    app_state = last.Stable_store.payload;
+    basic_count = 0;
+    forced_count = 0;
+  }
+
 let set_hooks t hooks = t.hooks <- hooks
 
 let me t = t.me

@@ -63,6 +63,29 @@ val create :
     [Rdt_store.Log_store], so [s^0] and everything after it also hit the
     disk.  Default: a fresh in-memory store. *)
 
+val restore :
+  n:int ->
+  me:int ->
+  protocol:Protocol.t ->
+  trace:Rdt_ccp.Trace.t ->
+  ?ckpt_bytes:int ->
+  store:Rdt_storage.Stable_store.t ->
+  unit ->
+  t
+(** Rebuild the middleware of a process that crashed and lost its volatile
+    state: [store] is the restored stable store
+    ({!Rdt_storage.Stable_store.restore} over what the durable log
+    recovered) and [trace] must already contain the process's surviving
+    event history (the live runtime replays it from the coordinator's
+    transcript).  The DV, application state and archive are recreated from
+    the last surviving checkpoint, as in Algorithm 3; no new checkpoint is
+    stored.  The caller must drive a recovery-session rollback before
+    resuming normal operation — until then the state is provisional, and
+    the protocol instance restarts interval-fresh (valid for the RDT
+    protocols, whose per-interval flags reset at each checkpoint; not for
+    monotone-index protocols like BCS).
+    @raise Invalid_argument if [store] is empty. *)
+
 val set_hooks : t -> hooks -> unit
 
 val me : t -> int

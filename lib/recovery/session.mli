@@ -29,6 +29,27 @@ type report = {
 val snapshot_of : Rdt_protocols.Middleware.t -> Rdt_gc.Global_gc.snapshot
 (** One process's reply to the manager's state query. *)
 
+type plan = {
+  p_line : int array;  (** the recovery line *)
+  p_li : int array;  (** LI of the post-rollback CCP *)
+  p_last : int array;  (** last stable index per process, as gathered *)
+  p_rollback : bool array;  (** [p_line.(i) <= p_last.(i)] *)
+  p_undone : int;  (** general checkpoints the plan rolls back *)
+}
+
+val plan :
+  snapshots:Rdt_gc.Global_gc.snapshot array ->
+  last:int array ->
+  faulty:int list ->
+  plan
+(** The pure decision step of a session: compute the recovery line, LI and
+    who must roll back from the gathered snapshots.  {!run} applies it to
+    in-memory middlewares; the live runtime's coordinator applies the same
+    plan over the wire, so both deployments roll back to the identical
+    line by construction. *)
+
+val report_of_plan : plan -> faulty:int list -> report
+
 val run :
   middlewares:Rdt_protocols.Middleware.t array ->
   faulty:int list ->

@@ -16,8 +16,26 @@ end
 
 type t = { me : int; vectors : int array Vec.t }
 
+(* Gap sentinel for [restore]: a crash loses the vectors of eliminated
+   checkpoints (only retained entries are on disk), and a real DV always
+   has [n >= 2] slots, so the empty array can mark the holes. *)
+let absent : int array = [||]
+
 let create ~me = { me; vectors = Vec.create () }
 let me t = t.me
+
+let restore ~me ~entries =
+  let t = create ~me in
+  List.iter
+    (fun (index, dv) ->
+      if index < t.vectors.Vec.size then
+        invalid_arg "Dv_archive.restore: entries must have ascending indices";
+      while t.vectors.Vec.size < index do
+        Vec.push t.vectors absent
+      done;
+      Vec.push t.vectors (Array.copy dv))
+    entries;
+  t
 
 let record_shared t ~index ~dv =
   if index <> t.vectors.Vec.size then
@@ -35,6 +53,8 @@ let last_index t = t.vectors.Vec.size - 1
 
 let find t ~index =
   if index < 0 || index >= t.vectors.Vec.size then None
-  else Some t.vectors.Vec.data.(index)
+  else
+    let dv = t.vectors.Vec.data.(index) in
+    if dv == absent then None else Some dv
 
 let count t = t.vectors.Vec.size

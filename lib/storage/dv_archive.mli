@@ -16,6 +16,15 @@ type t
 val create : me:int -> t
 val me : t -> int
 
+val restore : me:int -> entries:(int * int array) list -> t
+(** Rebuild an archive from the [(index, dv)] pairs that survived a crash
+    (ascending indices, as the durable store recovers them — the vectors
+    of already-eliminated checkpoints are lost).  The archive's size
+    resumes at one past the last surviving index, so subsequent
+    {!record}s continue correctly; {!find} answers [None] inside the
+    gaps.
+    @raise Invalid_argument if indices are not ascending. *)
+
 val record : t -> index:int -> dv:int array -> unit
 (** Archive the vector stored with checkpoint [s^index] (copies [dv]).
     @raise Invalid_argument unless [index] is exactly one past the last

@@ -1,0 +1,73 @@
+(* The seam between the protocol stack and the world (DESIGN.md §14): a
+   node or coordinator owns exactly one [t] and interacts with peers only
+   through it.  Two implementations exist — the deterministic simulator
+   engine ({!Sim_backend}) and real TCP sockets
+   ({!Rdt_live.Tcp_transport}); the node logic cannot tell them apart. *)
+
+type event =
+  | Frame of { src : int; frame : Wire.frame }
+  | Peer_down of { peer : int }
+  | Timer of { id : int }
+
+type poll_result = [ `Progress | `Timeout | `Idle ]
+
+type t = {
+  me : int;  (* -1 = coordinator, 0..n-1 = nodes *)
+  now : unit -> float;
+  send : dst:int -> Wire.frame -> unit;
+  connect : dst:int -> port:int -> unit;
+  listen_port : int;
+  set_timer : id:int -> after:float -> unit;
+  set_handler : (event -> unit) -> unit;
+  poll : timeout:float -> poll_result;
+  close : unit -> unit;
+}
+
+let coordinator_id = -1
+
+let me t = t.me
+let now t = t.now ()
+let send t ~dst frame = t.send ~dst frame
+let connect t ~dst ~port = t.connect ~dst ~port
+let listen_port t = t.listen_port
+let set_timer t ~id ~after = t.set_timer ~id ~after
+let set_handler t f = t.set_handler f
+let poll t ~timeout = t.poll ~timeout
+let close t = t.close ()
+
+(* Backends deliver events before the owner has installed its handler
+   (e.g. engine deliveries racing a respawn); a mailbox buffers them and
+   replays on installation.  [drop] models a dead process: frames to a
+   killed node vanish, exactly as they do when its socket dies. *)
+module Mailbox = struct
+  type nonrec t = {
+    mutable handler : (event -> unit) option;
+    mutable pending : event list;  (* newest first *)
+    mutable dropping : bool;
+    mutable delivered : int;
+  }
+
+  let create () = { handler = None; pending = []; dropping = false; delivered = 0 }
+
+  let deliver mb ev =
+    if not mb.dropping then begin
+      mb.delivered <- mb.delivered + 1;
+      match mb.handler with
+      | Some h -> h ev
+      | None -> mb.pending <- ev :: mb.pending
+    end
+
+  let set mb h =
+    mb.dropping <- false;
+    mb.handler <- Some h;
+    let pending = List.rev mb.pending in
+    mb.pending <- [];
+    List.iter h pending
+
+  let drop mb =
+    mb.dropping <- true;
+    mb.handler <- None;
+    mb.pending <- []
+
+  let delivered mb = mb.delivered
+end

@@ -1,0 +1,66 @@
+(** Transport abstraction for the live runtime (DESIGN.md §14).
+
+    One endpoint per process plus one for the coordinator
+    ({!coordinator_id}).  Events arrive through a handler installed with
+    {!set_handler}; {!poll} drives the backend (real I/O for TCP, engine
+    steps for the simulator) until it delivered at least one event, timed
+    out, or ran out of work. *)
+
+type event =
+  | Frame of { src : int; frame : Wire.frame }
+  | Peer_down of { peer : int }
+      (** the link to [peer] died (socket EOF / reset); never raised by
+          the simulator backend *)
+  | Timer of { id : int }
+
+type poll_result = [ `Progress | `Timeout | `Idle ]
+
+type t = {
+  me : int;
+  now : unit -> float;
+      (** wall clock on TCP, virtual engine clock in the simulator *)
+  send : dst:int -> Wire.frame -> unit;
+      (** asynchronous; TCP queues frames for peers whose connection is
+          not yet established and flushes on identification *)
+  connect : dst:int -> port:int -> unit;
+      (** establish a peer link (TCP dial; no-op in the simulator) *)
+  listen_port : int;  (** 0 in the simulator *)
+  set_timer : id:int -> after:float -> unit;
+  set_handler : (event -> unit) -> unit;
+      (** events delivered before installation are buffered and replayed *)
+  poll : timeout:float -> poll_result;
+      (** [`Idle] means the backend can make no further progress without
+          external input — for the simulator, the event queue drained, so
+          waiting longer is a deadlock *)
+  close : unit -> unit;
+}
+
+val coordinator_id : int
+(** [-1]; node ids are [0..n-1]. *)
+
+val me : t -> int
+val now : t -> float
+val send : t -> dst:int -> Wire.frame -> unit
+val connect : t -> dst:int -> port:int -> unit
+val listen_port : t -> int
+val set_timer : t -> id:int -> after:float -> unit
+val set_handler : t -> (event -> unit) -> unit
+val poll : t -> timeout:float -> poll_result
+val close : t -> unit
+
+(** Handler buffering shared by backends. *)
+module Mailbox : sig
+  type nonrec t
+
+  val create : unit -> t
+  val deliver : t -> event -> unit
+  val set : t -> (event -> unit) -> unit
+
+  val drop : t -> unit
+  (** Enter the dead state: discard buffered and future events until the
+      next {!set} (a respawned process installing its handler). *)
+
+  val delivered : t -> int
+  (** Events delivered or buffered so far; {!poll} implementations use
+      this to detect progress. *)
+end

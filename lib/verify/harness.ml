@@ -13,6 +13,8 @@ type result = {
   violations : Oracles.violation list;
   ops_executed : int;
   stop : stop;
+  script : Script.t option;
+  reports : Rdt_recovery.Session.report list;
 }
 
 (* --- filesystem scratch ------------------------------------------------ *)
@@ -121,13 +123,14 @@ let pp_ints l = String.concat "," (List.map string_of_int (ints_of l))
 
 exception Stopped
 
-let run ?(mutate_lgc = false) ?scratch_dir (scenario : Scenario.t) =
+let run ?(mutate_lgc = false) ?scratch_dir ?observe (scenario : Scenario.t) =
   let sc = Scenario.normalize scenario in
   if not sc.protocol.Rdt_protocols.Protocol.rdt then
     invalid_arg "Harness.run: scenario protocol does not guarantee RDT";
   let violations = ref [] in
   let stop = ref Completed in
   let executed = ref 0 in
+  let reports = ref [] in
   let push vs =
     violations := !violations @ vs;
     if not (List.is_empty !violations) then raise Stopped
@@ -225,7 +228,8 @@ let run ?(mutate_lgc = false) ?scratch_dir (scenario : Scenario.t) =
   with
   | Error (Fault.Injected_crash _) ->
     (try check_store_crash ~at_op:0 with Stopped -> ());
-    { scenario = sc; violations = !violations; ops_executed = 0; stop = !stop }
+    { scenario = sc; violations = !violations; ops_executed = 0; stop = !stop;
+      script = None; reports = [] }
   | Error e -> raise e
   | Ok script ->
     if mutate_lgc then
@@ -270,6 +274,7 @@ let run ?(mutate_lgc = false) ?scratch_dir (scenario : Scenario.t) =
       | Scenario.Crash faulty ->
         let ccp_before = Ccp.of_trace (Script.trace script) in
         let report = Script.crash script ~faulty in
+        reports := !reports @ [ report ];
         push (Oracles.crash ~ccp_before ~report ~op:i);
         quiescent i;
         deep i
@@ -278,7 +283,13 @@ let run ?(mutate_lgc = false) ?scratch_dir (scenario : Scenario.t) =
        List.iteri
          (fun i op ->
            executed := i + 1;
-           try execute i op
+           try
+             execute i op;
+             (* differential observation point: the live-cluster checker
+                compares the states it recorded against the replay here *)
+             match observe with
+             | Some f -> push (f ~op:i script)
+             | None -> ()
            with Fault.Injected_crash _ ->
              (* the faulted process is down mid-mutation; the run ends
                 here — only the durability oracles still apply *)
@@ -332,4 +343,6 @@ let run ?(mutate_lgc = false) ?scratch_dir (scenario : Scenario.t) =
       violations = !violations;
       ops_executed = !executed;
       stop = !stop;
+      script = Some script;
+      reports = !reports;
     }

@@ -24,15 +24,39 @@ type result = {
       (** empty = passed; fail-fast, so usually a single entry *)
   ops_executed : int;
   stop : stop;
+  script : Rdt_scenarios.Script.t option;
+      (** the replayed script, for post-run inspection (trace comparison
+          by the live-cluster checker); [None] only when an injected
+          store fault fired during setup *)
+  reports : Rdt_recovery.Session.report list;
+      (** recovery-session reports, one per crash op executed *)
 }
 
-val run : ?mutate_lgc:bool -> ?scratch_dir:string -> Scenario.t -> result
+val run :
+  ?mutate_lgc:bool ->
+  ?scratch_dir:string ->
+  ?observe:(op:int -> Rdt_scenarios.Script.t -> Oracles.violation list) ->
+  Scenario.t ->
+  result
 (** [mutate_lgc] enables {!Rdt_gc.Rdt_lgc.set_test_overcollect} on every
     collector — the fuzzer's self-check: the run must then produce a
     violation.  [scratch_dir] overrides where durable scenarios put their
     store directories (wiped before and after use; default: a
-    process-unique directory under the system temp dir).
+    process-unique directory under the system temp dir).  [observe] runs
+    after each op (and its oracles); any violations it returns stop the
+    run like an oracle failure — the live-cluster checker compares the
+    states it recorded from real processes against the replay here.
     @raise Invalid_argument on a non-RDT protocol. *)
+
+val log_config : Rdt_store.Log_store.config
+(** The store configuration harness runs use (small segments, eager
+    fsync); the live runtime's nodes use the same one, so live store
+    directories and replayed scratch directories age identically. *)
+
+val entry_eq : Rdt_storage.Stable_store.entry -> Rdt_storage.Stable_store.entry -> bool
+val set_eq : Rdt_storage.Stable_store.entry list -> Rdt_storage.Stable_store.entry list -> bool
+(** Full structural comparison (index, dv, taken_at, size, payload) used
+    by the durability oracles, shared with the live-cluster checker. *)
 
 val rm_rf : string -> unit
 (** Recursive delete, shared with the fuzz driver and tests. *)

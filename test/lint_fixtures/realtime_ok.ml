@@ -1,0 +1,8 @@
+(* Wall-clock reads inside a realtime-scoped path (the live TCP runtime)
+   are legal: det/wall-clock is the one determinism rule the scope
+   exempts.  Everything else still applies — the self-seeded RNG below
+   must be flagged even here. *)
+
+let now () = Unix.gettimeofday ()
+let later () = Unix.time () +. Sys.time ()
+let seeded () = Random.self_init () (* EXPECT det/random-self-init *)

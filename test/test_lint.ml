@@ -27,6 +27,7 @@ let fixture_cfg =
     Lint_config.lib_prefixes = [ "test/lint_fixtures/" ];
     parallel_prefixes = [ "test/lint_fixtures/parallel_ok" ];
     hashtbl_det_prefixes = [ "test/lint_fixtures/det_" ];
+    realtime_prefixes = [ "test/lint_fixtures/realtime_ok" ];
     unsafe_allowlist = [ "test/lint_fixtures/unsafe_ok.ml" ];
   }
 
@@ -301,6 +302,9 @@ let suite =
       (check_fixture "clean_ok.ml");
     Alcotest.test_case "parallel scope admits Domain.spawn" `Quick
       (check_fixture "parallel_ok.ml");
+    Alcotest.test_case "realtime scope admits the wall clock, nothing else"
+      `Quick
+      (check_fixture "realtime_ok.ml");
     Alcotest.test_case "suppression meta-rules" `Quick
       (check_fixture "suppress_fixture.ml");
     Alcotest.test_case "suppression silences exactly its site" `Quick

@@ -1,0 +1,156 @@
+(* Live-runtime tests: the committed smoke scenario runs against both
+   transport backends — the deterministic simulator cluster and a real
+   multi-process TCP cluster on loopback — and the black-box checker
+   holds each run against the simulator replay (per-op state, transcript,
+   recovery reports, recovered store directories).  The scenario crashes
+   two different processes, so both runs exercise kill + durable-store
+   recovery; on the TCP backend the kill is a real SIGKILL. *)
+
+module Scenario = Rdt_verify.Scenario
+module Harness = Rdt_verify.Harness
+module Oracles = Rdt_verify.Oracles
+
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+(* The TCP tests spawn node processes by exec'ing the CLI (declared as a
+   test dep): Unix.fork is off the table inside this binary because
+   earlier suites (parallel, shards) have already created domains, and
+   OCaml 5 forbids forking a multi-domain runtime. *)
+let cli_exe =
+  let cand = Filename.concat ".." "bin/rdtgc_cli.exe" in
+  if Sys.file_exists cand then cand else "_build/default/bin/rdtgc_cli.exe"
+
+let tcp_backend () =
+  if Sys.file_exists cli_exe then Rdt_live.Cluster.Exec cli_exe
+  else Alcotest.skip ()
+
+let smoke_scenario () =
+  match Scenario.load (Filename.concat corpus_dir "live_smoke.scn") with
+  | Ok sc -> sc
+  | Error e -> Alcotest.failf "cannot load live_smoke.scn: %s" e
+
+let fresh_root name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rdtgc-test-%s-%d" name (Unix.getpid ()))
+  in
+  Harness.rm_rf dir;
+  dir
+
+let check_clean what (vs : Oracles.violation list) =
+  List.iter (fun v -> Format.eprintf "%s: %a@." what Oracles.pp_violation v) vs;
+  Alcotest.(check int) what 0 (List.length vs)
+
+let run_and_check ~name ~crashes run =
+  let root = fresh_root name in
+  Fun.protect
+    ~finally:(fun () -> Harness.rm_rf root)
+    (fun () ->
+      match run ~root with
+      | Error e -> Alcotest.failf "%s cluster run failed: %s" name e
+      | Ok record ->
+        Alcotest.(check int)
+          (name ^ " recovery sessions ran")
+          crashes
+          (List.length record.Rdt_live.Coordinator.rr_reports);
+        let scratch = fresh_root (name ^ "-replay") in
+        let c =
+          Rdt_live.Checker.check ~record ~root ~scratch_dir:scratch ()
+        in
+        check_clean (name ^ " checker") c.Rdt_live.Checker.violations;
+        record)
+
+let crash_count sc =
+  List.length
+    (List.filter
+       (function Scenario.Crash _ -> true | _ -> false)
+       sc.Scenario.ops)
+
+let test_sim_cluster () =
+  let sc = smoke_scenario () in
+  ignore
+    (run_and_check ~name:"sim" ~crashes:(crash_count sc) (fun ~root ->
+         Rdt_live.Sim_cluster.run ~scenario:sc ~root ()))
+
+let test_sim_deterministic () =
+  let sc = smoke_scenario () in
+  let one name =
+    let root = fresh_root name in
+    Fun.protect
+      ~finally:(fun () -> Harness.rm_rf root)
+      (fun () ->
+        match Rdt_live.Sim_cluster.run ~scenario:sc ~root () with
+        | Error e -> Alcotest.failf "sim run failed: %s" e
+        | Ok r -> r)
+  in
+  let a = one "det-a" and b = one "det-b" in
+  Alcotest.(check string) "identical transcripts"
+    a.Rdt_live.Coordinator.rr_trace b.Rdt_live.Coordinator.rr_trace;
+  let states r =
+    List.concat_map
+      (fun (o : Rdt_live.Coordinator.observation) ->
+        List.map
+          (fun (pid, st) ->
+            Format.asprintf "op%d p%d dv=%a app=%d" o.Rdt_live.Coordinator.obs_op
+              pid
+              (fun ppf a ->
+                Array.iter (fun v -> Format.fprintf ppf "%d," v) a)
+              st.Rdt_transport.Wire.st_dv st.Rdt_transport.Wire.st_app)
+          o.Rdt_live.Coordinator.obs_states)
+      r.Rdt_live.Coordinator.rr_observations
+  in
+  Alcotest.(check (list string)) "identical observations" (states a) (states b)
+
+let test_tcp_cluster () =
+  let sc = smoke_scenario () in
+  let backend = tcp_backend () in
+  ignore
+    (run_and_check ~name:"tcp" ~crashes:(crash_count sc) (fun ~root ->
+         Rdt_live.Cluster.run ~scenario:sc ~root ~backend ()))
+
+let test_tcp_stores_survive () =
+  (* after a passing TCP run the root holds one real store directory per
+     process, and each recovers to a non-empty retained set *)
+  let sc = smoke_scenario () in
+  let backend = tcp_backend () in
+  let root = fresh_root "tcp-stores" in
+  Fun.protect
+    ~finally:(fun () -> Harness.rm_rf root)
+    (fun () ->
+      match Rdt_live.Cluster.run ~scenario:sc ~root ~backend () with
+      | Error e -> Alcotest.failf "cluster run failed: %s" e
+      | Ok _ ->
+        for pid = 0 to sc.Scenario.n - 1 do
+          let dir =
+            Filename.concat (Rdt_live.Cluster.node_dir root pid) "store"
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "p%d store dir exists" pid)
+            true (Sys.file_exists dir);
+          let log =
+            Rdt_store.Log_store.create ~config:Harness.log_config ~pid ~dir ()
+          in
+          let recovered =
+            Fun.protect
+              ~finally:(fun () -> Rdt_store.Log_store.close log)
+              (fun () ->
+                (Rdt_store.Log_store.recovery log).Rdt_store.Log_store.recovered)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "p%d recovers a non-empty set" pid)
+            true
+            (not (List.is_empty recovered))
+        done)
+
+let suite =
+  [
+    Alcotest.test_case "sim cluster passes the black-box checker" `Quick
+      test_sim_cluster;
+    Alcotest.test_case "sim cluster runs are deterministic" `Quick
+      test_sim_deterministic;
+    Alcotest.test_case "tcp cluster passes the black-box checker (SIGKILL + \
+                        recovery)" `Slow test_tcp_cluster;
+    Alcotest.test_case "tcp stores recover after the run" `Slow
+      test_tcp_stores_survive;
+  ]

@@ -28,4 +28,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("shards", Test_shards.suite);
       ("lint", Test_lint.suite);
+      ("wire", Test_wire.suite);
+      ("live", Test_live.suite);
     ]
