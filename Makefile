@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench figures eval micro smoke bench-json perf perf-smoke fuzz-smoke live-smoke examples clean
+.PHONY: all build test lint bench figures eval micro smoke bench-json perf perf-smoke mt-gate fuzz-smoke live-smoke examples clean
 
 all: build
 
@@ -51,6 +51,11 @@ perf:
 
 # fast perf regression check: the incremental-CCP criterion only
 perf-smoke: smoke
+
+# CI multicore gate: min-of-7 wall-clock race of the whole-run scaling
+# workload at shards=1 vs shards=4; exits 1 if sharding lost (DESIGN.md §13)
+mt-gate:
+	dune exec bench/main.exe -- mt-gate
 
 # ~10 s differential-fuzz budget: a fixed-seed campaign plus the
 # over-collecting-mutant self-check (DESIGN.md §11); the nightly CI job

@@ -2,8 +2,9 @@
    baseline vs a fresh run) — the `make perf` backend.
 
    The reader is deliberately specialized to the flat one-benchmark-per-
-   line layout Micro.write_json emits (both rdtgc-bench-micro/1 and /2;
-   schema 1 files simply have no allocation fields): this keeps the
+   line layout Micro.write_json emits (rdtgc-bench-micro/1 through /3;
+   schema 1 files have no allocation fields and only /3 carries the
+   whole-run events_per_sec / speedup_vs_seq fields): this keeps the
    harness free of a JSON dependency while staying robust to field
    reordering within a line.
 
@@ -18,6 +19,10 @@
      - WARN when ns_per_run regresses by more than 20%;
      - WARN on any steady-state allocation growth beyond jitter
        (allocs_per_run more than [alloc_jitter] words above baseline);
+     - WARN when a whole-run scaling row that used to beat the
+       sequential engine (speedup_vs_seq >= 1) falls below parity —
+       sharding stopped paying off (the hard version of this check is
+       the CI `mt-gate` command, which races fresh runs);
      - improvements are reported as INFO lines so the trajectory is
        visible in the CI log. *)
 
@@ -28,6 +33,8 @@ type bench = {
   name : string;
   ns : float option;
   allocs : float option;
+  ev_s : float option;  (* /3 whole-run rows only *)
+  speedup : float option;  (* /3 whole-run rows only *)
 }
 
 (* --- minimal reader for our own writer's output ------------------------ *)
@@ -91,6 +98,8 @@ let parse path =
                name;
                ns = number_field line "\"ns_per_run\"";
                allocs = number_field line "\"allocs_per_run\"";
+               ev_s = number_field line "\"events_per_sec\"";
+               speedup = number_field line "\"speedup_vs_seq\"";
              }
          | None -> None)
 
@@ -172,6 +181,21 @@ let run ~baseline ~current =
           Printf.printf
             "WARN %-42s allocation growth: %.1f -> %.1f words/run\n" b.name ba
             ca
+        | _ -> ());
+        (match (b.speedup, c.speedup) with
+        | Some bs, Some cs when bs >= 1.0 && cs < 1.0 ->
+          incr warnings;
+          Printf.printf
+            "WARN %-42s sharding fell below parity: speedup %.2fx -> %.2fx\n"
+            b.name bs cs
+        | Some bs, Some cs when cs > bs *. 1.1 ->
+          Printf.printf "INFO %-42s speedup %.2fx -> %.2fx\n" b.name bs cs
+        | _ -> ());
+        (match (b.ev_s, c.ev_s) with
+        | Some be, Some ce when be > 0.0 && ce < be *. (1.0 -. ns_regression_threshold) ->
+          (* already implied by the ns WARN for the same row, so INFO *)
+          Printf.printf
+            "INFO %-42s throughput: %.0f -> %.0f events/s\n" b.name be ce
         | _ -> ()))
     base;
   if !missing > 0 then

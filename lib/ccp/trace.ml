@@ -1,4 +1,5 @@
 module Vec = Rdt_sim.Vec
+module Stamp = Rdt_sim.Stamp
 
 type kind =
   | Checkpoint of { index : int }
@@ -7,11 +8,22 @@ type kind =
 
 type event = { mutable seq : int; pid : int; kind : kind }
 
-(* Canonical-order stamp of one not-yet-sequenced record: the engine
-   event's key [(s_time, s_u, s_v)] plus [s_k], the rank of this record
-   among those made by the same process under the same key (one engine
-   event can record several trace events). *)
-type stamp = { s_time : float; s_u : int; s_v : int; s_k : int; s_ev : event }
+(* Pooled buffer of not-yet-sequenced records for one process: the engine
+   event's key [(time, u, v)] plus [k], the rank of the record among those
+   made by the same process under the same key (one engine event can
+   record several trace events).  Struct-of-arrays rather than a vector of
+   stamp records, so a sharded run buffers each record by writing five
+   slots instead of allocating a record and boxing a float — per-record
+   stamping was a measurable share of the multi-shard allocation storm
+   (DESIGN.md §13). *)
+type pending = {
+  mutable p_len : int;
+  mutable p_time : float array;
+  mutable p_u : int array;
+  mutable p_v : int array;
+  mutable p_k : int array;
+  mutable p_ev : event array;
+}
 
 type t = {
   n : int;
@@ -28,14 +40,19 @@ type t = {
      with a stamp drawn from this source, and {!finalize} later assigns
      [seq] in canonical order and fires [on_event] — producing the exact
      linearization the sequential engine records directly.  When unset,
-     records are sequenced immediately at append (the historical path). *)
-  mutable order_source : (unit -> float * int * int) option;
-  pending : stamp Vec.t array;  (* per process, so shards never share *)
+     records are sequenced immediately at append (the historical path).
+     The source writes into [stamp_cell] (no tuple per record). *)
+  mutable order_source : (Stamp.t -> unit) option;
+  stamp_cell : Stamp.t;
+  pending : pending array;  (* per process, so shards never share *)
   last_time : float array;
   last_u : int array;
   last_v : int array;
   last_k : int array;
 }
+
+let fresh_pending () =
+  { p_len = 0; p_time = [||]; p_u = [||]; p_v = [||]; p_k = [||]; p_ev = [||] }
 
 let create ~n =
   if n <= 0 then invalid_arg "Trace.create: n must be positive";
@@ -48,7 +65,8 @@ let create ~n =
     on_event = [];
     on_truncate = [];
     order_source = None;
-    pending = Array.init n (fun _ -> Vec.create ());
+    stamp_cell = Stamp.create ();
+    pending = Array.init n (fun _ -> fresh_pending ());
     last_time = Array.make n nan;
     last_u = Array.make n 0;
     last_v = Array.make n 0;
@@ -61,36 +79,79 @@ let on_event t f = t.on_event <- f :: t.on_event
 let on_truncate t f = t.on_truncate <- f :: t.on_truncate
 let set_order_source t f = t.order_source <- Some f
 
-let stamp_compare a b =
-  let c = Float.compare a.s_time b.s_time in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.s_u b.s_u in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.s_v b.s_v in
-      if c <> 0 then c
-      else
-        let c = Int.compare a.s_k b.s_k in
-        if c <> 0 then c else Int.compare a.s_ev.pid b.s_ev.pid
+let pending_grow p ev =
+  let cap = Array.length p.p_time in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let p_time = Array.make ncap 0.0 in
+  let p_u = Array.make ncap 0 in
+  let p_v = Array.make ncap 0 in
+  let p_k = Array.make ncap 0 in
+  let p_ev = Array.make ncap ev in
+  Array.blit p.p_time 0 p_time 0 p.p_len;
+  Array.blit p.p_u 0 p_u 0 p.p_len;
+  Array.blit p.p_v 0 p_v 0 p.p_len;
+  Array.blit p.p_k 0 p_k 0 p.p_len;
+  Array.blit p.p_ev 0 p_ev 0 p.p_len;
+  p.p_time <- p_time;
+  p.p_u <- p_u;
+  p.p_v <- p_v;
+  p.p_k <- p_k;
+  p.p_ev <- p_ev
+
+let pending_push p ~time ~u ~v ~k ev =
+  let len = p.p_len in
+  if len = Array.length p.p_time then pending_grow p ev;
+  p.p_time.(len) <- time;
+  p.p_u.(len) <- u;
+  p.p_v.(len) <- v;
+  p.p_k.(len) <- k;
+  p.p_ev.(len) <- ev;
+  p.p_len <- len + 1
 
 let finalize t =
-  let total = Array.fold_left (fun acc v -> acc + Vec.length v) 0 t.pending in
+  let total = Array.fold_left (fun acc p -> acc + p.p_len) 0 t.pending in
   if total > 0 then begin
-    let all =
-      let buf = ref [] in
-      Array.iter (fun v -> Vec.iter (fun s -> buf := s :: !buf) v) t.pending;
-      Array.of_list !buf
-    in
-    Array.iter Vec.clear t.pending;
-    Array.sort stamp_compare all;
+    (* flatten the per-process buffers, sort an index permutation by
+       stamp, and sequence in that order — the once-per-run cost *)
+    let f_time = Array.make total 0.0 in
+    let f_u = Array.make total 0 in
+    let f_v = Array.make total 0 in
+    let f_k = Array.make total 0 in
+    let f_ev = Array.make total t.pending.(0).p_ev.(0) in
+    let pos = ref 0 in
     Array.iter
-      (fun s ->
-        let ev = s.s_ev in
+      (fun p ->
+        Array.blit p.p_time 0 f_time !pos p.p_len;
+        Array.blit p.p_u 0 f_u !pos p.p_len;
+        Array.blit p.p_v 0 f_v !pos p.p_len;
+        Array.blit p.p_k 0 f_k !pos p.p_len;
+        Array.blit p.p_ev 0 f_ev !pos p.p_len;
+        pos := !pos + p.p_len;
+        p.p_len <- 0)
+      t.pending;
+    let perm = Array.init total Fun.id in
+    let compare_idx a b =
+      let c = Float.compare f_time.(a) f_time.(b) in
+      if c <> 0 then c
+      else
+        let c = Int.compare f_u.(a) f_u.(b) in
+        if c <> 0 then c
+        else
+          let c = Int.compare f_v.(a) f_v.(b) in
+          if c <> 0 then c
+          else
+            let c = Int.compare f_k.(a) f_k.(b) in
+            if c <> 0 then c
+            else Int.compare f_ev.(a).pid f_ev.(b).pid
+    in
+    Array.sort compare_idx perm;
+    Array.iter
+      (fun i ->
+        let ev = f_ev.(i) in
         ev.seq <- t.next_seq;
         t.next_seq <- t.next_seq + 1;
         List.iter (fun f -> f ev) t.on_event)
-      all
+      perm
   end
 
 let record t ~pid kind =
@@ -103,7 +164,11 @@ let record t ~pid kind =
       Vec.push t.logs.(pid) ev;
       List.iter (fun f -> f ev) t.on_event
     | Some source ->
-      let tm, u, v = source () in
+      let cell = t.stamp_cell in
+      source cell;
+      let tm = Stamp.time cell in
+      let u = Stamp.u cell in
+      let v = Stamp.v cell in
       let k =
         if
           Float.equal tm t.last_time.(pid)
@@ -118,8 +183,7 @@ let record t ~pid kind =
       t.last_k.(pid) <- k;
       let ev = { seq = -1; pid; kind } in
       Vec.push t.logs.(pid) ev;
-      Vec.push t.pending.(pid)
-        { s_time = tm; s_u = u; s_v = v; s_k = k; s_ev = ev }
+      pending_push t.pending.(pid) ~time:tm ~u ~v ~k ev
   end
 
 (* the [recording] test is replicated here so a muted trace (benchmarks,

@@ -57,15 +57,17 @@ val on_truncate : t -> (pid:int -> unit) -> unit
     consumers treat this as a cache invalidation (truncation can retract
     events a subscriber already folded in). *)
 
-val set_order_source : t -> (unit -> float * int * int) -> unit
+val set_order_source : t -> (Rdt_sim.Stamp.t -> unit) -> unit
 (** Route appends through deferred canonical ordering: each record is
-    buffered per process, stamped with the key the source returns (the
-    engine's [current_stamp]), and sequenced lazily by {!finalize} —
-    sorted by [(time, u, v, k, pid)] where [k] ranks multiple records
-    made under one key by the same process.  Installed by the runner for
-    sharded simulations, where processes append from multiple domains and
-    arrival order is not the canonical order.  Must be set before the
-    first record. *)
+    buffered per process, stamped with the key the source writes into the
+    trace-owned cell (the engine's [read_stamp]), and sequenced lazily by
+    {!finalize} — sorted by [(time, u, v, k, pid)] where [k] ranks
+    multiple records made under one key by the same process.  Installed
+    by the runner for sharded simulations, where processes append from
+    multiple domains and arrival order is not the canonical order.  The
+    cell-writing shape keeps the per-record stamp allocation-free (a
+    tuple per record was part of the multi-shard allocation storm).  Must
+    be set before the first record. *)
 
 val finalize : t -> unit
 (** Sequence every buffered record and fire the {!on_event} callbacks in

@@ -338,16 +338,30 @@ let rec arm_sample_timer t =
 let create (cfg : Sim_config.t) =
   Sim_config.validate cfg;
   let engine =
-    Engine.create ~n:cfg.n ~seed:cfg.seed ~net:cfg.net ~shards:cfg.shards ()
+    Engine.create ~n:cfg.n ~seed:cfg.seed ~net:cfg.net ~shards:cfg.shards
+      ~autotune:cfg.autotune ()
   in
   let trace = Trace.create ~n:cfg.n in
-  (* With one shard the engine records in canonical order already; with
-     several, processes append from different domains and the trace defers
-     sequencing until the stamps can be merged. *)
-  if Engine.shards engine > 1 then
-    Trace.set_order_source trace (fun () -> Engine.current_stamp engine);
+  (* Sequential and merged-inline engines record in canonical order
+     already; only parallel dispatch — where processes append from
+     different domains — needs the trace to defer sequencing until the
+     stamps can be merged. *)
+  if Engine.parallel_dispatch engine then
+    Trace.set_order_source trace (Engine.read_stamp engine);
+  (* Per-process state is built shard block by shard block (the engine's
+     contiguous partition), so the objects a domain touches during its
+     windows were allocated together rather than interleaved with every
+     other shard's.  The flat arrays — and therefore every observable
+     result — are identical to a pid-ordered build. *)
+  let init_by_shard : 'a. (int -> 'a) -> 'a array =
+   fun f ->
+    Array.concat
+      (List.init (Engine.shards engine) (fun s ->
+           let lo, hi = Engine.shard_bounds engine s in
+           Array.init (hi - lo) (fun i -> f (lo + i))))
+  in
   let log_stores =
-    Array.init cfg.n (fun me ->
+    init_by_shard (fun me ->
         match cfg.store with
         | Sim_config.Memory -> None
         | Sim_config.Durable { dir; config } ->
@@ -367,7 +381,7 @@ let create (cfg : Sim_config.t) =
           Some ls)
   in
   let middlewares =
-    Array.init cfg.n (fun me ->
+    init_by_shard (fun me ->
         let store =
           match log_stores.(me) with
           | None -> None
@@ -380,7 +394,7 @@ let create (cfg : Sim_config.t) =
           ~ckpt_bytes:cfg.ckpt_bytes ?store ())
   in
   let collectors =
-    Array.init cfg.n (fun me ->
+    init_by_shard (fun me ->
         match cfg.gc with
         | Sim_config.Local ->
           let mw = middlewares.(me) in
@@ -395,7 +409,9 @@ let create (cfg : Sim_config.t) =
           None)
   in
   let workload =
-    Workload.create cfg.workload ~n:cfg.n ~rng:(Prng.split (Engine.rng engine))
+    Workload.create cfg.workload ~n:cfg.n
+      ~rng:(Prng.split (Engine.rng engine))
+      ~shards:(Engine.shards engine) ()
   in
   let t =
     {

@@ -38,6 +38,7 @@ type t = {
   ckpt_bytes : int;
   store : store_backend;
   shards : int;
+  autotune : bool;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     ckpt_bytes = 1;
     store = Memory;
     shards = 1;
+    autotune = true;
   }
 
 let validate t =

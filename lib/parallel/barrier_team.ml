@@ -3,26 +3,33 @@
    Domain_pool hands independent tasks to whichever worker is free; the
    sharded simulation engine needs the opposite shape: the *same* [size]
    workers re-invoked every time window, each on its own fixed shard
-   index, with a full barrier between rounds.  Workers park on a
-   condition variable between rounds, so a round costs two lock
-   hand-offs per worker and no domain spawns.
+   index, with a full barrier between rounds.  A steady-state round
+   allocates nothing: the job is stored in a plain field (no option box),
+   round start and completion are signalled through atomic counters, and
+   members spin briefly on those counters before parking on a condition
+   variable — so back-to-back windows cost a few cache-line bounces, not
+   a mutex convoy, while an idle team still sleeps.
 
    The caller's domain acts as member 0 of every round; [size - 1]
    domains are spawned at [create] and joined at [shutdown].  All
-   cross-domain communication goes through [m]; the mutex acquire/release
-   pairs around a round double as the happens-before edges that make the
-   engine's plain (non-atomic) shard state safe to hand from one round's
-   writer to the next round's reader. *)
+   cross-domain hand-offs are ordered by the atomics: the release write
+   of [round] publishes the caller's plain writes (job, active count and
+   any engine state) to the workers, and each worker's release decrement
+   of [remaining] publishes its round's writes back to the caller — these
+   are the happens-before edges that make the engine's plain (non-atomic)
+   shard state safe to hand from one round's writer to the next round's
+   reader. *)
 
 type t = {
   size : int;
   m : Mutex.t;
-  start : Condition.t;  (* workers wait here for the next round *)
-  finished : Condition.t;  (* the caller waits here for the barrier *)
-  mutable job : (int -> unit) option;
-  mutable round : int;
-  mutable remaining : int;
-  mutable stop : bool;
+  start : Condition.t;  (* workers park here between rounds *)
+  finished : Condition.t;  (* the caller parks here for the barrier *)
+  mutable job : int -> unit;
+  mutable active : int;  (* members participating in the current round *)
+  round : int Atomic.t;
+  remaining : int Atomic.t;  (* active workers yet to finish the round *)
+  stop : bool Atomic.t;
   mutable failures : (int * exn) list;
   mutable domains : unit Domain.t list;
 }
@@ -35,27 +42,53 @@ type t = {
 let dls_index = Domain.DLS.new_key (fun () -> 0)
 let self_index () = Domain.DLS.get dls_index
 
+let hardware_parallelism () = Domain.recommended_domain_count ()
+
+let no_job (_ : int) = ()
+
+(* cpu_relax iterations on the atomics before falling back to the mutex;
+   long enough to catch a back-to-back window, short enough that an idle
+   team parks almost immediately *)
+let spin_budget = 200
+
 let worker t i () =
   Domain.DLS.set dls_index i;
-  let rec loop last_round =
-    Mutex.lock t.m;
-    while (not t.stop) && t.round = last_round do
-      Condition.wait t.start t.m
-    done;
-    if t.stop then Mutex.unlock t.m
+  (* -1 = stopping; otherwise the number of the round to execute *)
+  let rec await_round last_round spins =
+    if Atomic.get t.stop then -1
     else begin
-      let job = Option.get t.job in
-      let round = t.round in
-      Mutex.unlock t.m;
-      (try job i
-       with e ->
-         Mutex.lock t.m;
-         t.failures <- (i, e) :: t.failures;
-         Mutex.unlock t.m);
-      Mutex.lock t.m;
-      t.remaining <- t.remaining - 1;
-      if t.remaining = 0 then Condition.broadcast t.finished;
-      Mutex.unlock t.m;
+      let r = Atomic.get t.round in
+      if r <> last_round then r
+      else if spins > 0 then begin
+        Domain.cpu_relax ();
+        await_round last_round (spins - 1)
+      end
+      else begin
+        Mutex.lock t.m;
+        while (not (Atomic.get t.stop)) && Atomic.get t.round = last_round do
+          Condition.wait t.start t.m
+        done;
+        Mutex.unlock t.m;
+        if Atomic.get t.stop then -1 else Atomic.get t.round
+      end
+    end
+  in
+  let rec loop last_round =
+    let round = await_round last_round spin_budget in
+    if round >= 0 then begin
+      if i < t.active then begin
+        (try t.job i
+         with e ->
+           Mutex.lock t.m;
+           t.failures <- (i, e) :: t.failures;
+           Mutex.unlock t.m);
+        if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
+          (* last one out: the caller may already have parked *)
+          Mutex.lock t.m;
+          Condition.broadcast t.finished;
+          Mutex.unlock t.m
+        end
+      end;
       loop round
     end
   in
@@ -69,10 +102,11 @@ let create ~size =
       m = Mutex.create ();
       start = Condition.create ();
       finished = Condition.create ();
-      job = None;
-      round = 0;
-      remaining = 0;
-      stop = false;
+      job = no_job;
+      active = 0;
+      round = Atomic.make 0;
+      remaining = Atomic.make 0;
+      stop = Atomic.make false;
       failures = [];
       domains = [];
     }
@@ -82,38 +116,110 @@ let create ~size =
 
 let size t = t.size
 
-let run t f =
-  if t.size = 1 then f 0
+let run_sub t ~active f =
+  if active < 1 then invalid_arg "Barrier_team.run_sub: active must be >= 1";
+  let active = min active t.size in
+  if active = 1 then f 0
   else begin
-    Mutex.lock t.m;
-    t.job <- Some f;
-    t.remaining <- t.size - 1;
+    t.job <- f;
+    t.active <- active;
     t.failures <- [];
-    t.round <- t.round + 1;
+    Atomic.set t.remaining (active - 1);
+    (* release write: publishes job/active (and the caller's plain state)
+       to every worker that observes the new round number *)
+    Atomic.incr t.round;
+    Mutex.lock t.m;
     Condition.broadcast t.start;
     Mutex.unlock t.m;
     let caller_failure = (try f 0; None with e -> Some e) in
-    Mutex.lock t.m;
-    while t.remaining > 0 do
-      Condition.wait t.finished t.m
-    done;
-    t.job <- None;
-    let failures = t.failures in
-    Mutex.unlock t.m;
+    let rec await spins =
+      if Atomic.get t.remaining > 0 then
+        if spins > 0 then begin
+          Domain.cpu_relax ();
+          await (spins - 1)
+        end
+        else begin
+          Mutex.lock t.m;
+          while Atomic.get t.remaining > 0 do
+            Condition.wait t.finished t.m
+          done;
+          Mutex.unlock t.m
+        end
+    in
+    await spin_budget;
+    t.job <- no_job;
     (* every member reached the barrier; re-raise the lowest-index failure
        so error reporting does not depend on domain scheduling *)
     match caller_failure with
     | Some e -> raise e
     | None -> (
-      match List.sort (fun (a, _) (b, _) -> Int.compare a b) failures with
+      match List.sort (fun (a, _) (b, _) -> Int.compare a b) t.failures with
       | (_, e) :: _ -> raise e
       | [] -> ())
   end
 
+let run t f = run_sub t ~active:t.size f
+
 let shutdown t =
+  Atomic.set t.stop true;
   Mutex.lock t.m;
-  t.stop <- true;
   Condition.broadcast t.start;
   Mutex.unlock t.m;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  let domains = t.domains in
+  t.domains <- [];
+  List.iter Domain.join domains
+
+(* --- the process-wide shared team -------------------------------------- *)
+
+(* Spawning domains is the expensive part of team setup, so repeated
+   short runs (benchmarks, sweeps, tests) borrow one process-wide team
+   instead of spawning per run.  The team is grown (shut down and
+   respawned larger) when a borrower asks for more members than it has,
+   and joined at process exit so the runtime never waits on parked
+   domains.  Exclusive borrowing keeps rounds non-reentrant even when
+   several engines run concurrently (e.g. under Domain_pool): a second
+   concurrent borrower simply gets [None] and falls back to a private
+   team. *)
+
+let shared_m = Mutex.create ()
+let shared_team : t option ref = ref None
+let shared_busy = ref false
+
+let shutdown_shared () =
+  Mutex.lock shared_m;
+  let team = !shared_team in
+  shared_team := None;
+  shared_busy := false;
+  Mutex.unlock shared_m;
+  match team with Some t -> shutdown t | None -> ()
+
+let () = at_exit shutdown_shared
+
+let shared_acquire ~size =
+  if size < 1 then invalid_arg "Barrier_team.shared_acquire: size must be >= 1";
+  Mutex.lock shared_m;
+  let result =
+    if !shared_busy then None
+    else begin
+      let t =
+        match !shared_team with
+        | Some t when t.size >= size -> t
+        | old ->
+          (match old with Some t -> shutdown t | None -> ());
+          let t = create ~size in
+          shared_team := Some t;
+          t
+      in
+      shared_busy := true;
+      Some t
+    end
+  in
+  Mutex.unlock shared_m;
+  result
+
+let shared_release t =
+  Mutex.lock shared_m;
+  (match !shared_team with
+  | Some cur when cur == t -> shared_busy := false
+  | Some _ | None -> ());
+  Mutex.unlock shared_m

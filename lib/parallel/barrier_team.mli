@@ -4,16 +4,21 @@
     re-invokes the {e same} [size] members every round — member [i] always
     processes index [i] — with a full barrier at the end of each round.
     The sharded simulation engine drives one round per conservative time
-    window: workers park between rounds, so a window costs condition-variable
-    hand-offs rather than domain spawns.
+    window, so rounds are built to be cheap: a steady-state round
+    allocates nothing (the job lives in a plain field, round start and
+    completion travel through atomic counters), and members spin briefly
+    on those counters before parking on a condition variable, so
+    back-to-back windows avoid the mutex entirely while an idle team
+    still sleeps.
 
-    Mutual exclusion and publication: all round hand-offs go through one
-    internal mutex, whose acquire/release pairs establish the
-    happens-before edges that let members publish plain (non-atomic)
-    mutable state to whoever reads it after the barrier.  This is the
-    project's designated home (with {!Domain_pool}) for [Domain]/[Mutex]/
-    [Condition] use — rdt_lint's det/* rules flag those primitives
-    anywhere else. *)
+    Publication: the release write that opens a round publishes the
+    caller's plain (non-atomic) mutable state to the workers, and each
+    worker's release decrement at the barrier publishes its writes back —
+    these are the happens-before edges that let the engine hand plain
+    shard state from one round's writer to the next round's reader.  This
+    is the project's designated home (with {!Domain_pool}) for
+    [Domain]/[Mutex]/[Condition]/[Atomic] use — rdt_lint's det/* rules
+    flag those primitives anywhere else. *)
 
 type t
 
@@ -31,6 +36,12 @@ val run : t -> (int -> unit) -> unit
     error propagation is independent of domain scheduling.  Not
     reentrant: do not call {!run} from inside [f]. *)
 
+val run_sub : t -> active:int -> (int -> unit) -> unit
+(** {!run} over members [0 .. active-1] only ([active] is clamped to
+    [size]); the remaining members stay parked.  Lets one long-lived team
+    serve engines of different shard counts.  With [active = 1] the job
+    runs inline on the caller and no worker is woken. *)
+
 val self_index : unit -> int
 (** Index of the round member the current domain is executing as; [0] on
     any domain outside a round (in particular the caller between rounds).
@@ -39,3 +50,26 @@ val self_index : unit -> int
 val shutdown : t -> unit
 (** Join the worker domains; idempotent.  The team must not be used
     afterwards. *)
+
+val hardware_parallelism : unit -> int
+(** [Domain.recommended_domain_count ()], re-exported so engine-side
+    dispatch policy (parallel teams vs inline windowed execution) can ask
+    without using [Domain] outside this library. *)
+
+(** {2 The process-wide shared team}
+
+    Spawning domains dominates team setup, so repeated short runs
+    (benchmarks, sweeps, tests) borrow one process-wide team instead of
+    spawning per run.  Borrowing is exclusive: a second concurrent
+    borrower gets [None] and should fall back to a private {!create}d
+    team.  The shared team grows when a borrower asks for more members
+    than it has, and is joined automatically at process exit. *)
+
+val shared_acquire : size:int -> t option
+(** Borrow the shared team with at least [size] members, growing it if
+    needed; [None] if another borrower currently holds it. *)
+
+val shared_release : t -> unit
+(** Return a team obtained from {!shared_acquire}.  Never shuts it down;
+    releasing a stale team (one the registry has since replaced) is a
+    no-op. *)

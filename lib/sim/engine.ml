@@ -33,20 +33,49 @@ type stats = {
    (shards = 1) executor uses one queue ordered by the same keys, so both
    modes replay the identical event sequence. *)
 
+(* The window loop below is the sharded simulator's inner loop; rdt_lint
+   holds the named functions to alloc/* so a steady-state window allocates
+   nothing beyond what the executed events themselves allocate (see
+   DESIGN.md §13 for the measured storm this discipline replaced). *)
+(* [fmin], [now] and [Event_queue.next_time] are float-returning [@inline]
+   accessors: they stay out of the hot set (the boxed-float rule is about
+   out-of-line returns; inlined into these loops the floats stay unboxed),
+   like [Event_queue.add]/[pop]. *)
+[@@@lint.zero_alloc_hot
+  "self_shard" "read_stamp" "step_shard" "process_shard" "window_job"
+  "grow_outcell" "outbox_push" "drain_outboxes" "any_local_le" "window_round"
+  "note_insert" "pick_verify" "pick_merged" "exec_merged" "step_merged"
+  "run_merged" "finish_mt"]
+
+let[@inline] fmin (a : float) (b : float) = if a < b then a else b
+
 type 'msg shard = {
   queue : 'msg event Event_queue.t;
-  mutable clock : float;
+  (* one-element array, not a mutable float field: the clock is written on
+     every event pop, and a float store into a mixed record would box *)
+  clock : float array;
   st : stats;
   (* canonical key of the event this shard is currently executing; the
-     trace reads it through [current_stamp] to timestamp its records *)
+     trace reads it through [read_stamp] to timestamp its records *)
   mutable cur_u : int;
   mutable cur_v : int;
 }
 
-type 'msg pending = { p_time : float; p_u : int; p_v : int; p_ev : 'msg event }
+(* Pooled inter-shard mailbox cell, struct-of-arrays so a cross-shard send
+   under parallel dispatch writes four slots instead of allocating a
+   record per message.  Only the parallel (team) executor uses mailboxes
+   at all — inline windowed execution inserts straight into the
+   destination queue (see [send]). *)
+type 'msg outcell = {
+  mutable o_len : int;
+  mutable o_time : float array;
+  mutable o_u : int array;
+  mutable o_v : int array;
+  mutable o_ev : 'msg event array;
+}
 
-(* [Windows] = shards executing their slices in parallel; [Global] = at a
-   window barrier on the caller's domain; [Idle] = not inside [run]. *)
+(* [Windows] = shards executing their slices; [Global] = at a window
+   barrier on the caller's domain; [Idle] = not inside [run]. *)
 type phase = Idle | Windows | Global
 
 let in_windows = function Windows -> true | Idle | Global -> false
@@ -54,12 +83,13 @@ let in_windows = function Windows -> true | Idle | Global -> false
 type 'msg t = {
   n : int;
   nshards : int;
+  block : int;  (* pids [s*block, (s+1)*block) live on shard s *)
   shard_of : int array;
   rng : Prng.t;
   net : Network.t;
   shards : 'msg shard array;
   global : 'msg event Event_queue.t;  (* unrouted actions; barrier-only *)
-  mutable gclock : float;
+  gclock : float array;  (* one element; see [shard.clock] *)
   mutable gcur_v : int;  (* v of the global action being executed *)
   mutable phase : phase;
   mutable epoch : int;  (* bumped by flush_in_flight; stale deliveries die *)
@@ -69,89 +99,95 @@ type 'msg t = {
   act_seq : int array;  (* per-process scheduled-action counter *)
   mutable glob_seq : int;
   mutable setup_seq : int;  (* stamps records made outside any event *)
-  (* inter-shard mailboxes: cell [src_shard * nshards + dst_shard] is
-     written only by [src_shard] during a window and drained into the
-     destination queues by the caller at the barrier *)
-  outbox : 'msg pending Vec.t array;
+  scratch : Stamp.t;  (* backs the tuple-returning [current_stamp] *)
+  (* inter-shard mailboxes (parallel dispatch only): cell
+     [src_shard * nshards + dst_shard] is written only by [src_shard]
+     during a window and drained into the destination queues by the
+     caller at the barrier.  [out_dirty.(s)] = shard s pushed something
+     this window; rows of clean shards are skipped at the drain. *)
+  outbox : 'msg outcell array;
+  out_dirty : bool array;
   lookahead : float;  (* conservative window width = min message delay *)
+  autotune : bool;  (* per-shard asymmetric window boundaries (§13) *)
+  (* domains used by [run]: [nshards] when the host has that much
+     hardware parallelism (or autotuning is off), else 1 — windowed
+     execution inline on the caller, no team, no barriers, no mailboxes *)
+  workers : int;
+  (* window-executor state, preallocated so the loop allocates nothing.
+     [etimes] is one contiguous row of cached head times — entry [s] for
+     shard [s]'s queue, entry [nshards] for the global queue.  The merged
+     executor maintains it as a lower bound on each queue's true head
+     time ([=] for a freshly refreshed entry): inserts lower the bound
+     ([note_insert]), pops refresh it exactly, lazy cancellation only
+     raises the true head so the bound stays valid.  Its argmin then
+     scans one or two cache lines instead of dereferencing [k + 1]
+     scattered heap heads per event.  The windowed executor reuses the
+     first [nshards] entries as per-round scratch (it recomputes them
+     every round, which trivially satisfies the bound). *)
+  etimes : float array;
+  his : float array;  (* per-shard window boundary for this round *)
+  wscratch : float array;  (* [min; second-min] of etimes *)
+  mutable win_inclusive : bool;  (* close events at exactly the boundary *)
+  mutable active_shard : int;  (* slice the caller runs (inline dispatch) *)
+  mutable parallel : bool;  (* inside a team round *)
+  mutable job : int -> unit;  (* the one window job, reused every round *)
 }
 
 let fresh_stats () =
   { sent = 0; delivered = 0; lost = 0; dropped_down = 0; flushed = 0; events = 0 }
 
-let create ~n ~seed ~net ?(shards = 1) () =
-  if n <= 0 then invalid_arg "Engine.create: n must be positive";
-  if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
-  let nshards = min shards n in
-  if nshards > 1 && net.Network.min_delay <= 0.0 then
-    invalid_arg
-      "Engine.create: shards > 1 requires positive network min_delay \
-       (conservative windows need non-zero lookahead)";
-  let rng = Prng.create ~seed in
-  let block = (n + nshards - 1) / nshards in
-  {
-    n;
-    nshards;
-    shard_of = Array.init n (fun pid -> pid / block);
-    rng;
-    net = Network.create net ~n ~rng:(Prng.split rng);
-    shards =
-      Array.init nshards (fun _ ->
-          {
-            queue = Event_queue.create ();
-            clock = 0.0;
-            st = fresh_stats ();
-            cur_u = 0;
-            cur_v = 0;
-          });
-    global = Event_queue.create ();
-    gclock = 0.0;
-    gcur_v = 0;
-    phase = Idle;
-    epoch = 0;
-    up = Array.make n true;
-    receivers = Array.make n None;
-    chan_seq = Array.make (n * n) 0;
-    act_seq = Array.make n 0;
-    glob_seq = 0;
-    setup_seq = 0;
-    outbox = Array.init (nshards * nshards) (fun _ -> Vec.create ());
-    lookahead = net.Network.min_delay;
-  }
-
 let n t = t.n
 let shards t = t.nshards
+
 let shard_of_pid t pid =
   if pid < 0 || pid >= t.n then invalid_arg "Engine.shard_of_pid: bad pid";
   t.shard_of.(pid)
 
+let shard_bounds t s =
+  if s < 0 || s >= t.nshards then invalid_arg "Engine.shard_bounds: bad shard";
+  (* ceil-division blocks can leave trailing shards empty (n=5, shards=4
+     gives blocks of 2 and an empty shard 3): clamp both ends *)
+  (min t.n (s * t.block), min t.n ((s + 1) * t.block))
+
 let rng t = t.rng
 let network t = t.net
 
-(* the shard whose slice the current domain is executing; 0 outside a
-   window phase (the caller's domain is also team member 0) *)
+(* Whether [run] interleaves processes across domains.  [false] covers
+   the sequential executor and the merged inline executor, both of which
+   execute (and therefore record) in canonical order already — consumers
+   like the trace use this to skip deferred stamp-merging entirely. *)
+let parallel_dispatch t = t.nshards > 1 && t.workers > 1
+
+(* the shard whose slice the current domain is executing; under parallel
+   dispatch the team member index is the shard index, under inline
+   dispatch the engine tracks the slice it is running itself (the caller
+   is team member 0, which would misattribute every non-zero slice) *)
 let self_shard t =
-  if t.nshards = 1 then 0 else Barrier_team.self_index ()
+  if t.parallel then Barrier_team.self_index () else t.active_shard
 
 let now t =
-  if t.nshards = 1 then t.shards.(0).clock
+  if t.nshards = 1 then t.shards.(0).clock.(0)
   else
     match t.phase with
-    | Windows -> t.shards.(self_shard t).clock
-    | Global | Idle -> t.gclock
+    | Windows -> t.shards.(self_shard t).clock.(0)
+    | Global | Idle -> t.gclock.(0)
 
-let current_stamp t =
+let read_stamp t (c : Stamp.t) =
   match t.phase with
   | Idle ->
     (* setup-time records (initial checkpoints): ordered before every
        event, in call order *)
     let k = t.setup_seq in
     t.setup_seq <- k + 1;
-    (neg_infinity, 0, k)
-  | Global -> (t.gclock, max_int, t.gcur_v)
+    Stamp.set c ~time:neg_infinity ~u:0 ~v:k
+  | Global -> Stamp.set c ~time:t.gclock.(0) ~u:max_int ~v:t.gcur_v
   | Windows ->
     let sh = t.shards.(self_shard t) in
-    (sh.clock, sh.cur_u, sh.cur_v)
+    Stamp.set c ~time:sh.clock.(0) ~u:sh.cur_u ~v:sh.cur_v
+
+let current_stamp t =
+  read_stamp t t.scratch;
+  (Stamp.time t.scratch, Stamp.u t.scratch, Stamp.v t.scratch)
 
 let stats t =
   let acc = fresh_stats () in
@@ -170,12 +206,85 @@ let set_receiver t p f =
   if p < 0 || p >= t.n then invalid_arg "Engine.set_receiver: bad pid";
   t.receivers.(p) <- Some f
 
+(* --- pooled mailboxes (parallel dispatch only) ------------------------- *)
+
+let grow_outcell box ev =
+  let cap = Array.length box.o_time in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  let o_time =
+    (Array.make ncap 0.0
+     [@lint.allow "alloc" "amortized doubling; absent from steady state"])
+  in
+  let o_u =
+    (Array.make ncap 0
+     [@lint.allow "alloc" "amortized doubling; absent from steady state"])
+  in
+  let o_v =
+    (Array.make ncap 0
+     [@lint.allow "alloc" "amortized doubling; absent from steady state"])
+  in
+  let o_ev =
+    (Array.make ncap ev
+     [@lint.allow "alloc" "amortized doubling; absent from steady state"])
+  in
+  Array.blit box.o_time 0 o_time 0 box.o_len;
+  Array.blit box.o_u 0 o_u 0 box.o_len;
+  Array.blit box.o_v 0 o_v 0 box.o_len;
+  Array.blit box.o_ev 0 o_ev 0 box.o_len;
+  box.o_time <- o_time;
+  box.o_u <- o_u;
+  box.o_v <- o_v;
+  box.o_ev <- o_ev
+
+let outbox_push t ss ds ~time ~u ~v ev =
+  let box = t.outbox.((ss * t.nshards) + ds) in
+  let len = box.o_len in
+  if len = Array.length box.o_time then grow_outcell box ev;
+  box.o_time.(len) <- time;
+  box.o_u.(len) <- u;
+  box.o_v.(len) <- v;
+  box.o_ev.(len) <- ev;
+  box.o_len <- len + 1;
+  t.out_dirty.(ss) <- true
+
+(* a pooled cell keeps the events of its last window alive until they are
+   overwritten — the same bounded-staleness trade-off as Event_queue's
+   entry pool *)
+let drain_outboxes t =
+  let k = t.nshards in
+  for ss = 0 to k - 1 do
+    if t.out_dirty.(ss) then begin
+      t.out_dirty.(ss) <- false;
+      let base = ss * k in
+      for ds = 0 to k - 1 do
+        let box = t.outbox.(base + ds) in
+        let len = box.o_len in
+        if len > 0 then begin
+          let q = t.shards.(ds).queue in
+          for j = 0 to len - 1 do
+            Event_queue.add_keyed_unit q ~time:box.o_time.(j) ~u:box.o_u.(j)
+              ~v:box.o_v.(j) box.o_ev.(j)
+          done;
+          box.o_len <- 0
+        end
+      done
+    end
+  done
+
+(* --- sends and schedules ----------------------------------------------- *)
+
+(* maintain the cached head-time row across a direct queue insert; under
+   parallel dispatch a shard only inserts into its own queue (cross-shard
+   goes through the outboxes), so concurrent writes hit disjoint entries *)
+let[@inline] note_insert t qi (at : float) =
+  if at < t.etimes.(qi) then t.etimes.(qi) <- at
+
 let send t ?(reliable = false) ~src ~dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Engine.send: bad destination";
   if src < 0 || src >= t.n then invalid_arg "Engine.send: bad source";
   let mt = t.nshards > 1 in
   let ss = t.shard_of.(src) in
-  if mt && in_windows t.phase && ss <> Barrier_team.self_index () then
+  if mt && in_windows t.phase && ss <> self_shard t then
     invalid_arg "Engine.send: send on behalf of a process of another shard";
   let sh = t.shards.(ss) in
   sh.st.sent <- sh.st.sent + 1;
@@ -198,12 +307,18 @@ let send t ?(reliable = false) ~src ~dst msg =
     let ev = Deliver { src; dst; payload = msg; epoch = t.epoch } in
     let ds = t.shard_of.(dst) in
     (* deliveries are never cancelled individually (flush works by epoch),
-       so skip the handle *)
-    if mt && in_windows t.phase && ds <> ss then
-      Vec.push
-        t.outbox.((ss * t.nshards) + ds)
-        { p_time = at; p_u = u; p_v = v; p_ev = ev }
-    else Event_queue.add_keyed_unit t.shards.(ds).queue ~time:at ~u ~v ev
+       so skip the handle.  Cross-shard sends go through a mailbox only
+       under parallel dispatch, where the destination queue belongs to
+       another domain; inline windowed execution inserts directly — the
+       arrival is at [>= send_time + lookahead], beyond every slice
+       boundary of this window, so the destination can never have passed
+       it (DESIGN.md §13). *)
+    if t.parallel && in_windows t.phase && ds <> ss then
+      outbox_push t ss ds ~time:at ~u ~v ev
+    else begin
+      Event_queue.add_keyed_unit t.shards.(ds).queue ~time:at ~u ~v ev;
+      note_insert t ds at
+    end
 
 let schedule t ?owner ?pin ~at f =
   if at < now t then invalid_arg "Engine.schedule: time in the past";
@@ -212,13 +327,17 @@ let schedule t ?owner ?pin ~at f =
   | Some p ->
     if p < 0 || p >= t.n then invalid_arg "Engine.schedule: bad pid";
     let ds = t.shard_of.(p) in
-    if t.nshards > 1 && in_windows t.phase
-       && ds <> Barrier_team.self_index ()
-    then invalid_arg "Engine.schedule: action routed to another shard";
+    if t.nshards > 1 && in_windows t.phase && ds <> self_shard t then
+      invalid_arg "Engine.schedule: action routed to another shard";
     let v = t.act_seq.(p) in
     t.act_seq.(p) <- v + 1;
-    Event_queue.add_keyed t.shards.(ds).queue ~time:at ~u:((p lsl 1) lor 1) ~v
-      (Action { owner; f })
+    let h =
+      Event_queue.add_keyed t.shards.(ds).queue ~time:at ~u:((p lsl 1) lor 1)
+        ~v
+        (Action { owner; f })
+    in
+    note_insert t ds at;
+    h
   | None ->
     if t.nshards > 1 && in_windows t.phase then
       invalid_arg
@@ -226,8 +345,14 @@ let schedule t ?owner ?pin ~at f =
          give it an owner or pin";
     let v = t.glob_seq in
     t.glob_seq <- v + 1;
-    let q = if t.nshards = 1 then t.shards.(0).queue else t.global in
-    Event_queue.add_keyed q ~time:at ~u:max_int ~v (Action { owner = None; f })
+    let q, qi =
+      if t.nshards = 1 then (t.shards.(0).queue, 0) else (t.global, t.nshards)
+    in
+    let h =
+      Event_queue.add_keyed q ~time:at ~u:max_int ~v (Action { owner = None; f })
+    in
+    note_insert t qi at;
+    h
 
 let schedule_in t ?owner ?pin ~delay f =
   schedule t ?owner ?pin ~at:(now t +. delay) f
@@ -272,7 +397,7 @@ let step_shard t sh =
   match Event_queue.pop sh.queue with
   | None -> false
   | Some (time, ev) ->
-    if time > sh.clock then sh.clock <- time;
+    if time > sh.clock.(0) then sh.clock.(0) <- time;
     sh.cur_u <- Event_queue.last_u sh.queue;
     sh.cur_v <- Event_queue.last_v sh.queue;
     sh.st.events <- sh.st.events + 1;
@@ -282,77 +407,67 @@ let step_shard t sh =
 let run_seq t ~limit =
   t.phase <- Windows;
   let sh = t.shards.(0) in
-  let continue () =
-    match Event_queue.peek_time sh.queue with
-    | None -> false
-    | Some next -> next <= limit
+  (* [next_time] is [infinity] on an empty queue, so the emptiness check
+     and the limit check are one float compare — but that demands strict
+     treatment of an infinite limit *)
+  let continue_ () =
+    let nt = Event_queue.next_time sh.queue in
+    nt <= limit && nt < infinity
   in
-  while continue () do
+  while continue_ () do
     ignore (step_shard t sh)
   done;
   t.phase <- Idle;
-  if limit < infinity && sh.clock < limit then sh.clock <- limit;
-  t.gclock <- sh.clock
+  if limit < infinity && sh.clock.(0) < limit then sh.clock.(0) <- limit;
+  t.gclock.(0) <- sh.clock.(0)
 
 (* --- windowed executor (shards > 1) ----------------------------------- *)
 
-let min_local_peek t =
-  let m = ref infinity in
-  for s = 0 to t.nshards - 1 do
-    match Event_queue.peek_time t.shards.(s).queue with
-    | Some tm -> if tm < !m then m := tm
-    | None -> ()
-  done;
-  !m
-
-let any_local_le t hi =
-  let found = ref false in
-  for s = 0 to t.nshards - 1 do
-    match Event_queue.peek_time t.shards.(s).queue with
-    | Some tm -> if tm <= hi then found := true
-    | None -> ()
-  done;
-  !found
-
-let drain_outboxes t =
-  let k = t.nshards in
-  for i = 0 to (k * k) - 1 do
-    let box = t.outbox.(i) in
-    if Vec.length box > 0 then begin
-      let q = t.shards.(i mod k).queue in
-      Vec.iter
-        (fun p ->
-          Event_queue.add_keyed_unit q ~time:p.p_time ~u:p.p_u ~v:p.p_v p.p_ev)
-        box;
-      Vec.clear box
-    end
-  done
-
-let process_shard t ~hi ~inclusive s =
+(* One shard's slice of the current round: events strictly below (or, for
+   a closing round, up to) the shard's boundary [his.(s)]. *)
+let process_shard t s =
   let sh = t.shards.(s) in
-  let continue () =
-    match Event_queue.peek_time sh.queue with
-    | None -> false
-    | Some tm -> if inclusive then tm <= hi else tm < hi
-  in
-  while continue () do
-    ignore (step_shard t sh)
-  done
+  let hi = t.his.(s) in
+  if t.win_inclusive then
+    while Event_queue.next_time sh.queue <= hi do
+      ignore (step_shard t sh)
+    done
+  else
+    while Event_queue.next_time sh.queue < hi do
+      ignore (step_shard t sh)
+    done
 
-(* One parallel slice: every shard processes its events up to [hi], then
-   the caller drains the mailboxes at the barrier.  Mailbox arrivals are
-   at [>= send_time + lookahead >= hi], so nothing can land inside the
-   slice that produced it. *)
-let dispatch t team ~hi ~inclusive =
+let window_job t s =
+  (* under inline dispatch the engine itself tracks which slice the
+     caller's domain is executing; under parallel dispatch the team
+     member index already is the shard index *)
+  if not t.parallel then t.active_shard <- s;
+  process_shard t s
+
+(* One dispatch: every shard processes its slice, then the caller drains
+   the mailboxes at the barrier (parallel dispatch only — inline slices
+   insert cross-shard sends directly). *)
+let dispatch t team =
   t.phase <- Windows;
   (match team with
-  | Some team -> Barrier_team.run team (process_shard t ~hi ~inclusive)
+  | Some team ->
+    t.parallel <- true;
+    (try Barrier_team.run_sub team ~active:t.nshards t.job
+     with e ->
+       t.parallel <- false;
+       raise e);
+    t.parallel <- false;
+    drain_outboxes t
   | None ->
     for s = 0 to t.nshards - 1 do
-      process_shard t ~hi ~inclusive s
+      t.job s
     done);
-  t.phase <- Global;
-  drain_outboxes t
+  t.phase <- Global
+
+let rec any_local_le t (hi : float) s =
+  s < t.nshards
+  && (Event_queue.next_time t.shards.(s).queue <= hi
+     || any_local_le t hi (s + 1))
 
 (* Globals at [boundary], one at a time: a global may schedule routed
    actions at the same timestamp, whose canonical keys precede the next
@@ -367,60 +482,221 @@ let exec_globals_at t team boundary =
         t.gcur_v <- Event_queue.last_v t.global;
         t.shards.(0).st.events <- t.shards.(0).st.events + 1;
         execute t t.shards.(0) ev);
-      if any_local_le t boundary then
-        dispatch t team ~hi:boundary ~inclusive:true;
+      if any_local_le t boundary 0 then begin
+        Array.fill t.his 0 t.nshards boundary;
+        t.win_inclusive <- true;
+        dispatch t team
+      end;
       go ()
     | Some _ | None -> ()
   in
   go ()
 
-(* One conservative window.  [w] = earliest pending event anywhere; the
-   window spans [w, boundary) with [boundary] capped by the lookahead,
-   the next global action and the run limit.  Shard slices within the
-   window are causally independent: any cross-shard influence travels
-   through a message, whose delay is at least [lookahead].  When the
-   boundary carries a global action (or is the run limit), the window is
-   closed inclusively — events at exactly [boundary] execute first, which
-   is also where their canonical keys sort — and the globals run at the
-   barrier. *)
-let window_once t team ~limit =
-  let next_local = min_local_peek t in
-  let next_global =
-    match Event_queue.peek_time t.global with Some g -> g | None -> infinity
-  in
-  let w = Float.min next_local next_global in
-  if w = infinity || w > limit then false
-  else begin
-    let boundary =
-      Float.min (w +. t.lookahead) (Float.min next_global limit)
-    in
-    if next_local < boundary then dispatch t team ~hi:boundary ~inclusive:false;
-    if boundary = next_global || boundary = limit then begin
-      if any_local_le t boundary then
-        dispatch t team ~hi:boundary ~inclusive:true;
-      if boundary > t.gclock then t.gclock <- boundary;
-      exec_globals_at t team boundary
+(* One conservative round.  Let [e_s] be shard [s]'s earliest pending
+   event, [w = min e_s], and [gb] the closest barrier (next global action
+   or the run limit).  While any shard still has events below [gb], shard
+   [d] may safely process everything strictly below
+
+     hi_d = min(gb, min_{s<>d} e_s + L, e_d + 2L)
+
+   where [L] is the lookahead: any cross-shard arrival into [d] descends
+   from an event currently queued at some shard — at [>= e_s + L] when it
+   starts at [s <> d], and at [>= e_d + 2L] when it starts at [d] itself
+   (the influence must leave [d] and come back, two hops of at least [L]
+   each).  This is the window autotuner: shards clustered at the same
+   virtual time get the classic symmetric [w + L] window, while a shard
+   running ahead of the field (or alone) advances up to [2L] per round
+   and an idle shard costs only a queue-head probe.  With [autotune]
+   off every boundary is the symmetric [min(gb, w + L)] (the PR 6
+   behavior).  Once no event remains below [gb], events at exactly [gb]
+   are closed inclusively — where their canonical keys sort — and the
+   globals run at the barrier. *)
+let window_round t team ~limit =
+  let k = t.nshards in
+  let ng = Event_queue.next_time t.global in
+  let gb = fmin ng limit in
+  let et = t.etimes in
+  let ws = t.wscratch in
+  ws.(0) <- infinity;
+  ws.(1) <- infinity;
+  for s = 0 to k - 1 do
+    let e = Event_queue.next_time t.shards.(s).queue in
+    et.(s) <- e;
+    if e < ws.(0) then begin
+      ws.(1) <- ws.(0);
+      ws.(0) <- e
+    end
+    else if e < ws.(1) then ws.(1) <- e
+  done;
+  let w = ws.(0) in
+  let nxt = fmin w ng in
+  (* nothing at or below the limit — and an empty system ([nxt] infinite)
+     is done even when the limit itself is infinite *)
+  if nxt > limit || nxt = infinity then false
+  else if w >= gb then begin
+    (* close the region at [gb]: events at exactly [gb] first, then the
+       globals carried by the barrier *)
+    if any_local_le t gb 0 then begin
+      Array.fill t.his 0 k gb;
+      t.win_inclusive <- true;
+      dispatch t team
     end;
+    if gb > t.gclock.(0) then t.gclock.(0) <- gb;
+    exec_globals_at t team gb;
+    true
+  end
+  else begin
+    let m2 = ws.(1) in
+    let l = t.lookahead in
+    if t.autotune then
+      for d = 0 to k - 1 do
+        let e = et.(d) in
+        let m_other = if e = w then m2 else w in
+        t.his.(d) <- fmin gb (fmin (m_other +. l) (e +. (l +. l)))
+      done
+    else begin
+      let hi = fmin gb (w +. l) in
+      Array.fill t.his 0 k hi
+    end;
+    t.win_inclusive <- false;
+    dispatch t team;
     true
   end
 
+(* --- inline merged executor (shards > 1, one executing domain) --------- *)
+
+(* When [run] has only the calling domain (host narrower than the shard
+   count), conservative windows buy nothing — they exist so domains can
+   run between barriers without seeing each other.  A single domain can
+   instead pop whichever queue holds the canonically least head: the
+   engine's [(time, u, v)] keys are unique across its queues at any
+   timestamp, so this k-way merge replays {e exactly} the one-queue
+   sequential order, while keeping the shallower per-shard heaps.  The
+   global queue joins the merge as one more head; its [u = max_int] keeps
+   every global after the routed events of its timestamp, just as the
+   window barrier would. *)
+
+(* Among the queues whose cached head time equals the row minimum [m],
+   find the one whose (verified) head is least by [(u, v)].  A stale
+   candidate — its true head moved past [m] since the cache was written
+   (popped, or died to lazy cancellation) — is refreshed to its exact
+   head time and drops out.  [-1] if every candidate was stale.  Plain
+   recursion so the running best lives in registers, not a boxed ref. *)
+let rec pick_verify t (m : float) i best bu bv =
+  if i > t.nshards then best
+  else if t.etimes.(i) = m then begin
+    let q = if i = t.nshards then t.global else t.shards.(i).queue in
+    let e = Event_queue.next_time q in
+    if e <> m then begin
+      t.etimes.(i) <- e;
+      pick_verify t m (i + 1) best bu bv
+    end
+    else
+      let u = Event_queue.head_u q in
+      if u < bu || (u = bu && Event_queue.head_v q < bv) then
+        pick_verify t m (i + 1) i u (Event_queue.head_v q)
+      else pick_verify t m (i + 1) best bu bv
+  end
+  else pick_verify t m (i + 1) best bu bv
+
+(* canonically least head across the shard queues and the global queue
+   (index [nshards]); [-1] when everything is empty.  The argmin runs
+   over the cached [etimes] row; only candidates at the minimum get a
+   real queue probe — in the common case exactly one, the queue about to
+   be popped anyway.  On return the winner's [etimes] entry is exact, so
+   the caller's limit check needs no further probe. *)
+let rec pick_merged t =
+  let et = t.etimes in
+  let ws = t.wscratch in
+  ws.(0) <- infinity;
+  for i = 0 to t.nshards do
+    if et.(i) < ws.(0) then ws.(0) <- et.(i)
+  done;
+  let m = ws.(0) in
+  if m = infinity then -1
+  else begin
+    let best = pick_verify t m 0 (-1) max_int max_int in
+    (* every candidate at [m] was stale: their entries are refreshed now,
+       so the next scan sees the true minimum *)
+    if best >= 0 then best else pick_merged t
+  end
+
+let exec_merged t s =
+  if s = t.nshards then begin
+    (* a global action: caller's domain, global clock — the same context
+       the window barrier gives it *)
+    t.phase <- Global;
+    (match Event_queue.pop t.global with
+    | None -> ()
+    | Some (time, ev) ->
+      if time > t.gclock.(0) then t.gclock.(0) <- time;
+      t.gcur_v <- Event_queue.last_v t.global;
+      t.shards.(0).st.events <- t.shards.(0).st.events + 1;
+      execute t t.shards.(0) ev);
+    t.etimes.(s) <- Event_queue.next_time t.global
+  end
+  else begin
+    t.phase <- Windows;
+    t.active_shard <- s;
+    ignore (step_shard t t.shards.(s));
+    (* refresh after execution, so inserts made by the handler into this
+       very queue are covered by the exact value *)
+    t.etimes.(s) <- Event_queue.next_time t.shards.(s).queue
+  end
+
+let rec run_merged t ~limit =
+  let s = pick_merged t in
+  (* [etimes.(s)] is exact after a successful pick *)
+  if s >= 0 && t.etimes.(s) <= limit then begin
+    exec_merged t s;
+    run_merged t ~limit
+  end
+
+let step_merged t =
+  let s = pick_merged t in
+  if s < 0 then false
+  else begin
+    exec_merged t s;
+    true
+  end
+
+(* allocation-free (wscratch, not a ref): [step] calls this once per
+   event/window, so it is part of the steady state the alloc tests pin *)
 let finish_mt t ~limit =
-  let m =
-    Array.fold_left (fun acc sh -> Float.max acc sh.clock) t.gclock t.shards
-  in
-  t.gclock <- (if limit < infinity && m < limit then limit else m);
+  let ws = t.wscratch in
+  ws.(0) <- t.gclock.(0);
+  for s = 0 to t.nshards - 1 do
+    if t.shards.(s).clock.(0) > ws.(0) then ws.(0) <- t.shards.(s).clock.(0)
+  done;
+  t.gclock.(0) <- (if limit < infinity && ws.(0) < limit then limit else ws.(0));
   t.phase <- Idle
 
 let run ?until t =
   let limit = Option.value until ~default:infinity in
   if t.nshards = 1 then run_seq t ~limit
-  else begin
-    let team = Barrier_team.create ~size:t.nshards in
+  else if t.workers = 1 then
+    (* no hardware parallelism to win: merged execution on the calling
+       domain — no domains, no barriers, no mailboxes, no windows *)
     Fun.protect
-      ~finally:(fun () ->
-        Barrier_team.shutdown team;
-        finish_mt t ~limit)
-      (fun () -> while window_once t (Some team) ~limit do () done)
+      ~finally:(fun () -> finish_mt t ~limit)
+      (fun () -> run_merged t ~limit)
+  else begin
+    match Barrier_team.shared_acquire ~size:t.workers with
+    | Some team ->
+      Fun.protect
+        ~finally:(fun () ->
+          Barrier_team.shared_release team;
+          finish_mt t ~limit)
+        (fun () -> while window_round t (Some team) ~limit do () done)
+    | None ->
+      (* another engine holds the shared team (concurrent sharded runs):
+         fall back to a private one for this run *)
+      let team = Barrier_team.create ~size:t.workers in
+      Fun.protect
+        ~finally:(fun () ->
+          Barrier_team.shutdown team;
+          finish_mt t ~limit)
+        (fun () -> while window_round t (Some team) ~limit do () done)
   end
 
 let step t =
@@ -428,15 +704,86 @@ let step t =
     t.phase <- Windows;
     let r = step_shard t t.shards.(0) in
     t.phase <- Idle;
-    t.gclock <- t.shards.(0).clock;
+    t.gclock.(0) <- t.shards.(0).clock.(0);
+    r
+  end
+  else if t.workers = 1 then begin
+    (* one event of the merged inline order *)
+    let r = step_merged t in
+    finish_mt t ~limit:infinity;
     r
   end
   else begin
-    (* one window, executed on the calling domain — determinism does not
-       depend on parallel dispatch, only throughput does *)
-    let r = window_once t None ~limit:infinity in
-    t.phase <- Idle;
-    t.gclock <-
-      Array.fold_left (fun acc sh -> Float.max acc sh.clock) t.gclock t.shards;
+    (* one conservative round, executed on the calling domain —
+       determinism does not depend on parallel dispatch, only throughput *)
+    let r = window_round t None ~limit:infinity in
+    finish_mt t ~limit:infinity;
     r
   end
+
+(* --- construction ------------------------------------------------------ *)
+
+let create ~n ~seed ~net ?(shards = 1) ?(autotune = true) () =
+  if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
+  let nshards = min shards n in
+  if nshards > 1 && net.Network.min_delay <= 0.0 then
+    invalid_arg
+      "Engine.create: shards > 1 requires positive network min_delay \
+       (conservative windows need non-zero lookahead)";
+  let rng = Prng.create ~seed in
+  let block = (n + nshards - 1) / nshards in
+  let workers =
+    if nshards = 1 then 1
+    else if autotune && Barrier_team.hardware_parallelism () < nshards then
+      (* spawning more domains than cores loses to inline execution *)
+      1
+    else nshards
+  in
+  let t =
+    {
+      n;
+      nshards;
+      block;
+      shard_of = Array.init n (fun pid -> pid / block);
+      rng;
+      net = Network.create net ~n ~rng:(Prng.split rng);
+      shards =
+        Array.init nshards (fun _ ->
+            {
+              queue = Event_queue.create ();
+              clock = [| 0.0 |];
+              st = fresh_stats ();
+              cur_u = 0;
+              cur_v = 0;
+            });
+      global = Event_queue.create ();
+      gclock = [| 0.0 |];
+      gcur_v = 0;
+      phase = Idle;
+      epoch = 0;
+      up = Array.make n true;
+      receivers = Array.make n None;
+      chan_seq = Array.make (n * n) 0;
+      act_seq = Array.make n 0;
+      glob_seq = 0;
+      setup_seq = 0;
+      scratch = Stamp.create ();
+      outbox =
+        Array.init (nshards * nshards) (fun _ ->
+            { o_len = 0; o_time = [||]; o_u = [||]; o_v = [||]; o_ev = [||] });
+      out_dirty = Array.make nshards false;
+      lookahead = net.Network.min_delay;
+      autotune;
+      workers;
+      etimes = Array.make (nshards + 1) infinity;
+      his = Array.make nshards 0.0;
+      wscratch = Array.make 2 infinity;
+      win_inclusive = false;
+      active_shard = 0;
+      parallel = false;
+      job = (fun (_ : int) -> ());
+    }
+  in
+  t.job <- window_job t;
+  t

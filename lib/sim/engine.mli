@@ -11,13 +11,32 @@
 
     With [shards = k > 1], processes are partitioned into [k] contiguous
     blocks, each with its own event queue, and {!run} advances the blocks
-    in parallel on [k] domains using conservative time windows: all
-    shards process events in [\[w, w + L)] before any crosses the
-    boundary, where the lookahead [L] is the network's minimum message
-    delay (hence [shards > 1] requires [min_delay > 0]).  Cross-shard
-    messages travel through per-pair mailboxes drained at the window
-    barrier; since every message takes at least [L] of virtual time, no
-    mailbox arrival can land inside the window that produced it.
+    in rounds bounded by conservative time windows.  Per round, shard [d]
+    with earliest pending event [e_d] processes everything strictly below
+
+    {[ hi_d = min(gb, min_{s<>d} e_s + L, e_d + 2L) ]}
+
+    where the lookahead [L] is the network's minimum message delay (hence
+    [shards > 1] requires [min_delay > 0]) and [gb] is the next global
+    action or the run limit.  Any cross-shard influence descends from an
+    event currently queued somewhere, so no arrival into [d] can land
+    below [hi_d]; shards clustered at the same virtual time get the
+    classic symmetric [w + L] window, while a shard running ahead of the
+    field advances up to [2L] per round ([?autotune:false] forces the
+    symmetric window everywhere).
+
+    Dispatch is hardware-aware: when the host has at least [k] cores,
+    rounds run on a persistent team of pinned domains (borrowed from the
+    process-wide {!Rdt_parallel.Barrier_team}), with cross-shard sends
+    buffered in pooled per-pair mailboxes drained at the round barrier.
+    When it does not, windows buy nothing — they exist so domains can run
+    between barriers without seeing each other — so the engine drops them
+    entirely and the calling domain pops whichever queue holds the
+    canonically least head (a k-way merge over a cached row of head
+    times).  Because canonical keys are unique across the engine's queues
+    at any timestamp, the merge replays {e exactly} the one-queue
+    sequential order while keeping the shallower per-shard heaps.
+    Steady-state execution allocates nothing on either path.
 
     Execution order is {e identical} at every shard count: simultaneous
     events are ordered by canonical keys that are pure functions of the
@@ -56,8 +75,19 @@ type stats = {
 }
 
 val create :
-  n:int -> seed:int -> net:Network.config -> ?shards:int -> unit -> 'msg t
-(** [?shards] (default [1]) is clamped to [n].
+  n:int ->
+  seed:int ->
+  net:Network.config ->
+  ?shards:int ->
+  ?autotune:bool ->
+  unit ->
+  'msg t
+(** [?shards] (default [1]) is clamped to [n].  [?autotune] (default
+    [true]) enables per-shard asymmetric window boundaries and
+    hardware-aware dispatch (merged inline execution when the host has
+    fewer cores than shards); with [false], every round uses the
+    symmetric [w + L] window on a full domain team regardless of the
+    host.  Neither setting affects the event order — only wall-clock.
     @raise Invalid_argument if [shards > 1] and [net.min_delay <= 0]. *)
 
 val n : _ t -> int
@@ -68,6 +98,20 @@ val shards : _ t -> int
 val shard_of_pid : _ t -> int -> int
 (** Which shard executes the given process — a pure function of
     [(n, shards)].  Used by callers that keep per-shard counters. *)
+
+val parallel_dispatch : _ t -> bool
+(** Whether {!run} will interleave processes across domains.  [false] for
+    single-shard engines {e and} for sharded engines that will execute
+    inline (merged order) because the host lacks the cores — in both
+    cases events run, and are observed by callbacks, in canonical order
+    already, so consumers such as the trace can skip deferred
+    stamp-merging. *)
+
+val shard_bounds : _ t -> int -> int * int
+(** [shard_bounds t s] is the contiguous pid range [\[lo, hi)] owned by
+    shard [s] — the iteration space for callers that build or scan
+    per-process state shard by shard (e.g. the Runner's shard-local
+    blocks). *)
 
 val now : _ t -> float
 (** Current virtual time of the calling context: inside an event handler,
@@ -84,8 +128,14 @@ val current_stamp : _ t -> float * int * int
 (** Canonical key [(time, u, v)] of the event the calling context is
     executing — the engine-wide total order on events.  Outside any event,
     returns a fresh pre-run stamp that sorts before every event (and
-    advances per call).  The trace uses this as its order source in
-    sharded runs to merge per-process logs deterministically. *)
+    advances per call). *)
+
+val read_stamp : _ t -> Stamp.t -> unit
+(** {!current_stamp} written into a caller-owned cell instead of a fresh
+    tuple — the allocation-free form the trace uses as its order source
+    in sharded runs to merge per-process logs deterministically (one call
+    per trace record; a tuple per record was a measurable share of the
+    multi-shard allocation storm, DESIGN.md §13). *)
 
 val set_receiver : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** [set_receiver t p f] installs the delivery callback of process [p].
@@ -137,15 +187,19 @@ val flush_in_flight : _ t -> unit
     Not callable from a routed handler of a sharded engine. *)
 
 val step : _ t -> bool
-(** Execute the next event ([shards = 1]) or the next conservative window
-    on the calling domain ([shards > 1] — same event order as {!run},
-    without parallel dispatch).  Returns [false] if nothing was left. *)
+(** Execute the next event ([shards = 1], or a sharded engine executing
+    inline — the merged order is per-event) or the next conservative
+    window on the calling domain (a sharded engine with a team — same
+    event order as {!run}, without parallel dispatch).  Returns [false]
+    if nothing was left. *)
 
 val run : ?until:float -> _ t -> unit
 (** Execute events until the queues are empty or the next event is strictly
     after [until].  When stopped by [until], the clock is advanced to
-    [until].  With [shards > 1] this spawns the worker domains for the
-    duration of the call. *)
+    [until].  With [shards > 1] and enough cores this borrows the
+    process-wide domain team for the duration of the call (falling back
+    to a private team if it is busy); with fewer cores than shards the
+    merged inline executor runs on the calling domain. *)
 
 val stats : _ t -> stats
 (** Counters merged across shards (a fresh record; mutating it does not

@@ -212,6 +212,39 @@ let rec peek_time t =
     end
   end
 
+(* cold path of [next_time]: the head is a lazily-cancelled entry *)
+let rec next_time_skip_dead t =
+  if t.size = 0 then infinity
+  else begin
+    let top = t.data.(0) in
+    if top.live then top.time
+    else begin
+      (match pop_entry t with Some e -> recycle t e | None -> ());
+      next_time_skip_dead t
+    end
+  end
+
+(* [peek_time] boxes its result in an option; the sharded engine's window
+   loop reads queue heads once per shard per window, so it gets an
+   allocation-free variant: a small, cross-module-inlinable head probe
+   whose float result stays unboxed at the call site *)
+let[@inline] next_time t =
+  if t.size = 0 then infinity
+  else begin
+    let top = t.data.(0) in
+    if top.live then top.time else next_time_skip_dead t
+  end
+
+(* Canonical key of the head entry, for cross-queue merging: the sharded
+   engine's inline executor picks, among its per-shard queues, the head
+   that is least by (time, u, v) — which is exactly the order one merged
+   queue would pop, because the engine's canonical keys are unique across
+   its queues at any timestamp.  Only meaningful straight after a
+   [next_time] probe returned a finite time (which also guarantees the
+   head is live). *)
+let[@inline] head_u t = t.data.(0).u
+let[@inline] head_v t = t.data.(0).v
+
 let is_empty t = !(t.live_count) = 0
 
 let length t = !(t.live_count)

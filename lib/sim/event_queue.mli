@@ -68,6 +68,20 @@ val last_v : 'a t -> int
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest non-cancelled entry, without removing it. *)
 
+val next_time : 'a t -> float
+(** {!peek_time} without the option: the earliest non-cancelled timestamp,
+    or [infinity] when the queue is (effectively) empty.  Small enough to
+    inline across modules, so the sharded engine's window loop reads queue
+    heads without boxing a float or an option. *)
+
+val head_u : 'a t -> int
+val head_v : 'a t -> int
+(** Canonical key of the head entry, for cross-queue merging (the sharded
+    engine's inline executor pops whichever of its queues has the least
+    head by [(time, u, v)]).  Only meaningful immediately after
+    {!next_time} returned a finite value, which also guarantees the head
+    is live. *)
+
 val is_empty : 'a t -> bool
 (** [true] iff no non-cancelled entry remains. *)
 

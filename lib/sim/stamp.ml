@@ -1,0 +1,21 @@
+(* A reusable canonical-stamp cell.
+
+   The sharded trace asks the engine "which event is the calling context
+   executing?" once per trace record — a hot, per-record query.  Returning
+   a [(float * int * int)] tuple allocates a tuple and a boxed float per
+   call; writing into a caller-owned cell allocates nothing.  The time
+   lives in a one-element float array (not a mutable float field of a
+   mixed record) precisely so that stores stay unboxed. *)
+
+type t = { time : float array; mutable u : int; mutable v : int }
+
+let create () = { time = [| nan |]; u = 0; v = 0 }
+
+let[@inline] time t = t.time.(0)
+let[@inline] u t = t.u
+let[@inline] v t = t.v
+
+let[@inline] set t ~time ~u ~v =
+  t.time.(0) <- time;
+  t.u <- u;
+  t.v <- v

@@ -1,0 +1,18 @@
+(** Reusable cell for an engine event's canonical stamp [(time, u, v)].
+
+    The sharded engine writes the stamp of the event the calling context
+    is executing into a caller-owned cell ({!Engine.read_stamp}) instead
+    of returning a tuple, so per-record stamp reads on the trace hot path
+    allocate nothing.  The timestamp is stored in a one-element float
+    array, keeping writes unboxed. *)
+
+type t
+
+val create : unit -> t
+(** A fresh cell; contents are meaningless until the first {!set}. *)
+
+val time : t -> float
+val u : t -> int
+val v : t -> int
+
+val set : t -> time:float -> u:int -> v:int -> unit

@@ -46,7 +46,13 @@ val default : config
 
 type t
 
-val create : config -> n:int -> rng:Rdt_sim.Prng.t -> t
+val create : config -> n:int -> rng:Rdt_sim.Prng.t -> ?shards:int -> unit -> t
+(** [?shards] (default [1]) groups the per-process generator streams into
+    one sub-array per engine shard (the engine's contiguous-block
+    partition), so sharded runs touch shard-local structures rather than
+    interleaving through one shared array.  Memory layout only: stream
+    [me] is the indexed split [me] of [rng] at every shard count, so
+    workload randomness is identical whatever value is passed. *)
 
 val config : t -> config
 

@@ -24,6 +24,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("ccp-incremental", Test_ccp_incremental.suite);
       ("parallel", Test_parallel.suite);
+      ("engine-alloc", Test_engine_alloc.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("fuzz", Test_fuzz.suite);
       ("shards", Test_shards.suite);

@@ -24,8 +24,8 @@ let trace_bytes trace =
 (* Everything observable, as bytes: the full event trace and the printed
    summary report (which folds in engine stats, per-process stores,
    control-message counts, recovery reports and sampled series). *)
-let observe cfg ~shards =
-  let r = Runner.create { cfg with Sim_config.shards } in
+let observe ?(autotune = true) cfg ~shards =
+  let r = Runner.create { cfg with Sim_config.shards; autotune } in
   Runner.run r;
   let summary = Fmt.str "%a" Runner.pp_summary (Runner.summary r) in
   let series =
@@ -33,14 +33,15 @@ let observe cfg ~shards =
   in
   (trace_bytes (Runner.trace r), summary, series)
 
-let check_invariant ?(shard_counts = [ 1; 2; 4; 8 ]) name cfg =
+let check_invariant ?(autotune = true) ?(shard_counts = [ 1; 2; 4; 8 ]) name
+    cfg =
   match shard_counts with
   | [] -> ()
   | base_shards :: rest ->
     let base = observe cfg ~shards:base_shards in
     List.iter
       (fun k ->
-        let trace, summary, series = observe cfg ~shards:k in
+        let trace, summary, series = observe ~autotune cfg ~shards:k in
         let b_trace, b_summary, b_series = base in
         Alcotest.(check string)
           (Printf.sprintf "%s: trace bytes, %d vs %d shards" name base_shards
@@ -109,6 +110,30 @@ let test_more_shards_than_processes () =
   check_invariant ~shard_counts:[ 1; 3; 16 ] "clamped"
     { Sim_config.default with n = 3; seed = 5; duration = 30.0 }
 
+let test_team_path_autotune_off () =
+  (* [autotune = false] forces a full domain team with symmetric windows
+     regardless of the host's core count — on a narrow CI box this is the
+     only configuration that exercises the persistent Barrier_team, the
+     pooled cross-shard mailboxes and the window barriers (with autotuning
+     on, such a host dispatches the merged inline executor instead).  The
+     observable output must not budge. *)
+  check_invariant ~autotune:false ~shard_counts:[ 1; 2; 4 ] "team path"
+    {
+      Sim_config.default with
+      n = 6;
+      seed = 13;
+      duration = 30.0;
+      faults = [ { Sim_config.pid = 1; crash_at = 12.0; repair_after = 5.0 } ];
+    }
+
+let test_large_n_smoke () =
+  (* n = 1024 at shards 1 vs 4: the scale where the per-shard queues'
+     cache win shows up (DESIGN.md §13); byte-identity must hold there
+     too, not only on toy sizes.  Short duration — this is a tier-1
+     smoke, the scaling claim itself lives in the benchmark. *)
+  check_invariant ~shard_counts:[ 1; 4 ] "n=1024 smoke"
+    { Sim_config.default with n = 1024; seed = 29; duration = 2.0 }
+
 (* --- qcheck property --------------------------------------------------- *)
 
 let gen_config =
@@ -161,6 +186,36 @@ let qcheck_invariance =
   QCheck.Test.make ~count:12 ~name:"random config is shard-invariant"
     (QCheck.make gen_config) (fun cfg ->
       check_invariant ~shard_counts:[ 1; 2; 4 ] "qcheck" cfg;
+      true)
+
+(* Nightly-only: the same property at simulation scale (n up to 4096,
+   where per-process state alone is hundreds of MB and a run takes
+   seconds).  Gated on RDTGC_NIGHTLY so `dune runtest` stays fast; the
+   nightly workflow exports it. *)
+let nightly =
+  match Sys.getenv_opt "RDTGC_NIGHTLY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let gen_large_config =
+  QCheck.Gen.(
+    let* n = oneofl [ 512; 1024; 2048; 4096 ] in
+    let* seed = int_range 1 100_000 in
+    let* pattern = oneofl [ Workload.Uniform; Workload.Ring ] in
+    return
+      {
+        Sim_config.default with
+        n;
+        seed;
+        (* events scale with n * duration: keep runs in the seconds *)
+        duration = 2.0;
+        workload = { Workload.default with pattern };
+      })
+
+let qcheck_invariance_large =
+  QCheck.Test.make ~count:3 ~name:"large-n config is shard-invariant (nightly)"
+    (QCheck.make gen_large_config) (fun cfg ->
+      check_invariant ~shard_counts:[ 1; 4 ] "qcheck-large" cfg;
       true)
 
 (* --- committed corpus replay ------------------------------------------- *)
@@ -223,8 +278,15 @@ let suite =
     Alcotest.test_case "fifo client-server" `Quick test_fifo_client_server;
     Alcotest.test_case "more shards than processes" `Quick
       test_more_shards_than_processes;
+    Alcotest.test_case "team path (autotune off)" `Quick
+      test_team_path_autotune_off;
+    Alcotest.test_case "n=1024 smoke (shards 1 vs 4)" `Quick
+      test_large_n_smoke;
     QCheck_alcotest.to_alcotest qcheck_invariance;
     Alcotest.test_case "corpus replays clean" `Quick test_corpus_replays_clean;
     Alcotest.test_case "corpus regenerates at every shard count" `Quick
       test_corpus_regenerates_at_every_shard_count;
   ]
+  @
+  if nightly then [ QCheck_alcotest.to_alcotest qcheck_invariance_large ]
+  else []

@@ -4,7 +4,9 @@ module Prng = Rdt_sim.Prng
 let make ?(n = 5) pattern =
   Workload.create
     { Workload.default with pattern; reply_probability = 1.0 }
-    ~n ~rng:(Prng.create ~seed:7)
+    ~n
+    ~rng:(Prng.create ~seed:7)
+    ()
 
 let in_range ~n dsts = List.for_all (fun d -> d >= 0 && d < n) dsts
 
@@ -60,7 +62,9 @@ let test_reply_probability_zero () =
   let w =
     Workload.create
       { Workload.default with reply_probability = 0.0 }
-      ~n:4 ~rng:(Prng.create ~seed:3)
+      ~n:4
+      ~rng:(Prng.create ~seed:3)
+      ()
   in
   for _ = 1 to 50 do
     Alcotest.(check (list int)) "never replies" []
@@ -130,7 +134,8 @@ let test_create_validation () =
   let bad f = try f (); false with Invalid_argument _ -> true in
   Alcotest.(check bool) "n < 2" true
     (bad (fun () ->
-         ignore (Workload.create Workload.default ~n:1 ~rng:(Prng.create ~seed:1))));
+         ignore
+           (Workload.create Workload.default ~n:1 ~rng:(Prng.create ~seed:1) ())));
   Alcotest.(check bool) "servers >= n" true
     (bad (fun () ->
          ignore
@@ -139,7 +144,7 @@ let test_create_validation () =
                 Workload.default with
                 pattern = Workload.Client_server { servers = 4 };
               }
-              ~n:3 ~rng:(Prng.create ~seed:1))))
+              ~n:3 ~rng:(Prng.create ~seed:1) ())))
 
 let suite =
   [
