@@ -883,9 +883,29 @@ let smoke () = run ~mode:`Smoke ()
    the true cost.  The n=1024 deep-queue case is the gate workload — it
    carries the structural effect (one monolithic queue's working set
    spills past L1 while per-shard queues stay resident, DESIGN.md §13)
-   rather than a few-percent margin that CI noise could flip.  A small
-   [tolerance] absorbs residual jitter on busy CI machines. *)
-let mt_gate ?(tolerance = 0.02) () =
+   rather than a few-percent margin that CI noise could flip.  The
+   [tolerance] absorbs residual jitter on busy shared CI machines.
+
+   The race only means something on a host with >= 4 hardware threads:
+   below that, Engine autotune runs shards=4 on the merged inline
+   executor (workers=1 — no domains, no barriers), so the "parallel"
+   side would not exercise parallel dispatch at all and the ratio would
+   gate nothing.  On such hosts the gate skips with an explicit message
+   instead of reporting a vacuous pass/fail.  [advisory] reports the
+   ratio but never fails — for shared runners where a wall-clock hard
+   gate is too flaky to enforce. *)
+let mt_gate ?(tolerance = 0.10) ?(advisory = false) () =
+  let cores = Rdt_parallel.Barrier_team.hardware_parallelism () in
+  if cores < 4 then begin
+    Printf.printf
+      "mt-gate: SKIP — host has %d hardware thread(s) < 4; autotune would \
+       run shards=4 on the merged inline executor, so the race would not \
+       measure parallel dispatch\n\
+       %!"
+      cores;
+    true
+  end
+  else begin
   let n, chains, hops =
     List.find (fun (n, _, _) -> n = 1024) engine_mt_cases
   in
@@ -906,8 +926,10 @@ let mt_gate ?(tolerance = 0.02) () =
   let ratio = t4 /. t1 in
   Printf.printf
     "mt-gate: n=%d shards=1 %.3f ms | shards=4 %.3f ms | ratio %.3f (pass: \
-     <= %.2f)\n\
+     <= %.2f)%s\n\
      %!"
     n (t1 *. 1e3) (t4 *. 1e3) ratio
-    (1.0 +. tolerance);
-  ratio <= 1.0 +. tolerance
+    (1.0 +. tolerance)
+    (if advisory then " [advisory: not enforced]" else "");
+  advisory || ratio <= 1.0 +. tolerance
+  end

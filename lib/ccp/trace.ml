@@ -41,9 +41,14 @@ type t = {
      [seq] in canonical order and fires [on_event] — producing the exact
      linearization the sequential engine records directly.  When unset,
      records are sequenced immediately at append (the historical path).
-     The source writes into [stamp_cell] (no tuple per record). *)
+     The source writes into the caller's cell (no tuple per record);
+     cells are per pid, not shared: under parallel dispatch several
+     domains record concurrently, and a single shared cell would let two
+     shards read each other's stamp (or a torn mix), corrupting the
+     canonical keys.  A pid is only ever executed by its owning shard's
+     domain, so [stamp_cells.(pid)] is single-writer. *)
   mutable order_source : (Stamp.t -> unit) option;
-  stamp_cell : Stamp.t;
+  stamp_cells : Stamp.t array;
   pending : pending array;  (* per process, so shards never share *)
   last_time : float array;
   last_u : int array;
@@ -65,7 +70,7 @@ let create ~n =
     on_event = [];
     on_truncate = [];
     order_source = None;
-    stamp_cell = Stamp.create ();
+    stamp_cells = Array.init n (fun _ -> Stamp.create ());
     pending = Array.init n (fun _ -> fresh_pending ());
     last_time = Array.make n nan;
     last_u = Array.make n 0;
@@ -117,7 +122,16 @@ let finalize t =
     let f_u = Array.make total 0 in
     let f_v = Array.make total 0 in
     let f_k = Array.make total 0 in
-    let f_ev = Array.make total t.pending.(0).p_ev.(0) in
+    (* seed from the first non-empty buffer: process 0 may have buffered
+       nothing even when [total > 0], leaving its [p_ev] still [||] *)
+    let seed =
+      let rec first i =
+        if t.pending.(i).p_len > 0 then t.pending.(i).p_ev.(0)
+        else first (i + 1)
+      in
+      first 0
+    in
+    let f_ev = Array.make total seed in
     let pos = ref 0 in
     Array.iter
       (fun p ->
@@ -164,7 +178,7 @@ let record t ~pid kind =
       Vec.push t.logs.(pid) ev;
       List.iter (fun f -> f ev) t.on_event
     | Some source ->
-      let cell = t.stamp_cell in
+      let cell = t.stamp_cells.(pid) in
       source cell;
       let tm = Stamp.time cell in
       let u = Stamp.u cell in

@@ -59,8 +59,9 @@ val on_truncate : t -> (pid:int -> unit) -> unit
 
 val set_order_source : t -> (Rdt_sim.Stamp.t -> unit) -> unit
 (** Route appends through deferred canonical ordering: each record is
-    buffered per process, stamped with the key the source writes into the
-    trace-owned cell (the engine's [read_stamp]), and sequenced lazily by
+    buffered per process, stamped with the key the source writes into a
+    trace-owned per-pid cell (the engine's [read_stamp]), and sequenced
+    lazily by
     {!finalize} — sorted by [(time, u, v, k, pid)] where [k] ranks
     multiple records made under one key by the same process.  Installed
     by the runner for sharded simulations, where processes append from

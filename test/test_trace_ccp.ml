@@ -236,6 +236,25 @@ let test_diagram_truncation () =
   Alcotest.(check bool) "notes the omission" true
     (String.length rendered > 0 && String.get rendered 0 = '.')
 
+(* regression: [finalize] used to seed its flattened event array from
+   process 0's pending buffer, so a deferred-order trace where pid 0
+   buffered nothing (its arrays still [||]) while other pids did crashed
+   with Invalid_argument; the seed must come from the first non-empty
+   buffer *)
+let test_finalize_empty_first_process () =
+  let t = Trace.create ~n:3 in
+  let clock = ref 0.0 in
+  Trace.set_order_source t (fun c ->
+      clock := !clock +. 1.0;
+      Rdt_sim.Stamp.set c ~time:!clock ~u:0 ~v:0);
+  Trace.record_checkpoint t ~pid:2 ~index:0;
+  Trace.record_checkpoint t ~pid:1 ~index:0;
+  let evs = Trace.all_events t in
+  Alcotest.(check int) "both records sequenced" 2 (List.length evs);
+  Alcotest.(check (list int))
+    "canonical (stamp) order, not pid order" [ 2; 1 ]
+    (List.map (fun (e : Trace.event) -> e.pid) evs)
+
 let suite =
   [
     Alcotest.test_case "trace building" `Quick test_trace_building;
@@ -259,5 +278,7 @@ let suite =
       test_truncation_erases_send;
     Alcotest.test_case "truncate missing checkpoint" `Quick
       test_truncate_missing_checkpoint;
+    Alcotest.test_case "finalize with empty first process" `Quick
+      test_finalize_empty_first_process;
     QCheck_alcotest.to_alcotest prop_precedes_vs_reachability;
   ]
