@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench figures eval micro smoke bench-json perf perf-smoke mt-gate fuzz-smoke live-smoke examples clean
+.PHONY: all build test lint bench figures eval micro smoke bench-json perf perf-smoke mt-gate fuzz-smoke live-smoke live-nemesis-smoke live-fuzz-nightly examples clean
 
 all: build
 
@@ -69,6 +69,24 @@ fuzz-smoke:
 # each crash op — black-box checked against the simulator replay
 live-smoke:
 	dune exec bin/rdtgc_cli.exe -- cluster-run test/corpus/live_smoke.scn --backend exec -q
+
+# ~10 s nemesis smoke (DESIGN.md §15): every live-representable corpus
+# scenario replays clean under its committed fault schedule on the
+# simulator backend, then the partition reproducer runs once against a
+# real TCP cluster with the nemesis dropping frames on the wire
+live-nemesis-smoke:
+	dune exec bin/rdtgc_cli.exe -- live-fuzz --runs 0 --backend sim --corpus test/corpus -q
+	dune exec bin/rdtgc_cli.exe -- cluster-run test/corpus/live_nemesis_partition.scn \
+	  --backend exec --nemesis "$$(cat test/corpus/live_nemesis_partition.nms)" -q
+
+# the nightly live campaign, runnable locally: 50 seeded random scenarios
+# under random fault schedules against real TCP processes, corpus
+# replayed first, failures shrunk and saved under live-fuzz-corpus/
+live-fuzz-nightly:
+	dune exec bin/rdtgc_cli.exe -- live-fuzz --runs 50 --backend exec \
+	  --seed $${SEED:-42} --corpus live-fuzz-corpus
+	dune exec bin/rdtgc_cli.exe -- live-fuzz --runs 3 --backend sim --mutate-deliver \
+	  --seed $${SEED:-42} -q
 
 examples:
 	dune exec examples/quickstart.exe

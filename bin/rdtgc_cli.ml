@@ -592,7 +592,26 @@ let fuzz_cmd =
 
 (* --- cluster-run / node --------------------------------------------------- *)
 
-let do_cluster_run scenario_file root backend seed timeout keep quiet =
+let nemesis_conv =
+  let parse s =
+    match Rdt_transport.Nemesis.of_string s with
+    | Ok cfg -> Ok cfg
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf cfg ->
+        Format.pp_print_string ppf (Rdt_transport.Nemesis.to_string cfg) )
+
+let nemesis_arg =
+  Arg.(value & opt (some nemesis_conv) None
+       & info [ "nemesis" ] ~docv:"SPEC"
+           ~doc:"Fault-injection schedule (the $(b,nms1 ...) form written \
+                 by live-fuzz, or $(b,nms1 seed=0x2a part=-) style by \
+                 hand): every endpoint drops, delays, duplicates and \
+                 corrupts frames deterministically from the spec.")
+
+let do_cluster_run scenario_file root backend seed timeout nemesis keep quiet =
   let log = if quiet then fun _ -> () else print_endline in
   match Rdt_verify.Scenario.load scenario_file with
   | Error e ->
@@ -611,14 +630,15 @@ let do_cluster_run scenario_file root backend seed timeout keep quiet =
     log (Printf.sprintf "cluster root: %s" root);
     let result =
       match backend with
-      | `Sim -> Rdt_live.Sim_cluster.run ~scenario:sc ~root ~seed ~log ()
+      | `Sim ->
+        Rdt_live.Sim_cluster.run ~scenario:sc ~root ~seed ?nemesis ~log ()
       | `Fork ->
         Rdt_live.Cluster.run ~scenario:sc ~root
-          ~backend:Rdt_live.Cluster.Fork ~timeout ~log ()
+          ~backend:Rdt_live.Cluster.Fork ~timeout ?nemesis ~log ()
       | `Exec ->
         Rdt_live.Cluster.run ~scenario:sc ~root
           ~backend:(Rdt_live.Cluster.Exec Sys.executable_name)
-          ~timeout ~log ()
+          ~timeout ?nemesis ~log ()
     in
     let cleanup ok =
       if temp_root && ok && not keep then Rdt_verify.Harness.rm_rf root
@@ -688,10 +708,10 @@ let cluster_run_cmd =
   Cmd.v (Cmd.info "cluster-run" ~doc)
     Term.(
       const do_cluster_run $ scenario_arg $ root_arg $ backend_arg $ seed_arg
-      $ timeout_arg $ keep_arg $ quiet_arg)
+      $ timeout_arg $ nemesis_arg $ keep_arg $ quiet_arg)
 
-let do_node me dir coord_port =
-  Rdt_live.Cluster.node_main ~me ~dir ~coord_port ()
+let do_node me dir coord_port nemesis =
+  Rdt_live.Cluster.node_main ~me ~dir ~coord_port ?nemesis ()
 
 let node_cmd =
   let doc =
@@ -710,7 +730,111 @@ let node_cmd =
            ~doc:"Coordinator's loopback TCP port.")
   in
   Cmd.v (Cmd.info "node" ~doc)
-    Term.(const do_node $ me_arg $ dir_arg $ coord_port_arg)
+    Term.(const do_node $ me_arg $ dir_arg $ coord_port_arg $ nemesis_arg)
+
+(* --- live-fuzz ------------------------------------------------------------ *)
+
+let do_live_fuzz seed runs max_procs backend root corpus shrink mutate timeout
+    quiet =
+  let log = if quiet then fun _ -> () else print_endline in
+  let backend =
+    match backend with
+    | `Sim -> Rdt_live.Live_fuzz.Sim
+    | `Fork -> Rdt_live.Live_fuzz.Live Rdt_live.Cluster.Fork
+    | `Exec ->
+      Rdt_live.Live_fuzz.Live (Rdt_live.Cluster.Exec Sys.executable_name)
+  in
+  let root, temp_root =
+    match root with
+    | Some r -> (r, false)
+    | None ->
+      ( Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "rdtgc-live-fuzz-%d" (Unix.getpid ())),
+        true )
+  in
+  let report =
+    Rdt_live.Live_fuzz.campaign ~backend ~shrink ?corpus ~log ~timeout
+      ~mutate_deliver:mutate ~seed ~runs ~max_procs ~root ()
+  in
+  let ok = Rdt_live.Live_fuzz.passed report in
+  if temp_root && (ok || mutate) then Rdt_verify.Harness.rm_rf root
+  else log (Printf.sprintf "campaign scratch kept under %s" root);
+  if mutate then begin
+    (* self-check: the deliberately duplicated delivery must be caught *)
+    if ok then begin
+      print_endline
+        "self-check FAILED: duplicated delivery escaped every oracle";
+      exit 1
+    end
+    else print_endline "self-check ok: duplicated delivery caught"
+  end
+  else if not ok then exit 1
+
+let live_fuzz_cmd =
+  let doc =
+    "Jepsen-style fuzzing of the live runtime: generate random scenarios \
+     and random nemesis fault schedules from a seed, run them against a \
+     whole cluster (deterministic simulator backend or real TCP processes \
+     on loopback), and hold every run against the black-box checker \
+     oracles.  Failures are delta-debugged and saved as \
+     scenario + nemesis seed pairs, so any failure replays from its seed."
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Root seed; every run derives a sub-seed from it that \
+                 regenerates both the scenario and the fault schedule.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N"
+           ~doc:"Number of generated runs.")
+  in
+  let max_procs_arg =
+    Arg.(value & opt int 4 & info [ "max-procs" ] ~docv:"N"
+           ~doc:"Upper bound on the process count of generated scenarios.")
+  in
+  let backend_arg =
+    Arg.(value & opt (enum [ ("sim", `Sim); ("exec", `Exec); ("fork", `Fork) ])
+           `Sim
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"$(b,sim) runs clusters in-process on the deterministic \
+                   simulator (default); $(b,exec) spawns this executable \
+                   per node over TCP; $(b,fork) forks instead.")
+  in
+  let root_arg =
+    Arg.(value & opt (some string) None & info [ "root" ] ~docv:"DIR"
+           ~doc:"Campaign scratch directory (wiped). Default: a fresh \
+                 directory under the system temp dir, removed when the \
+                 campaign passes.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Replay committed $(b,*.scn) scenarios first (each under \
+                 its sibling $(b,.nms) schedule), and save new failures \
+                 (scenario, nemesis spec, shrunk scenario) here.")
+  in
+  let shrink_arg =
+    Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL"
+           ~doc:"Delta-debug failing scenarios to minimal reproducers \
+                 (on the simulator arm whenever it reproduces the \
+                 failure).")
+  in
+  let mutate_arg =
+    Arg.(value & flag & info [ "mutate-deliver" ]
+           ~doc:"Self-check: every node delivers each message twice; exit \
+                 0 iff the campaign catches it.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-response coordinator timeout of live-backend runs.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-run output.")
+  in
+  Cmd.v (Cmd.info "live-fuzz" ~doc)
+    Term.(
+      const do_live_fuzz $ seed_arg $ runs_arg $ max_procs_arg $ backend_arg
+      $ root_arg $ corpus_arg $ shrink_arg $ mutate_arg $ timeout_arg
+      $ quiet_arg)
 
 (* --- lint ---------------------------------------------------------------- *)
 
@@ -796,6 +920,7 @@ let () =
             figure4_cmd;
             protocols_cmd;
             fuzz_cmd;
+            live_fuzz_cmd;
             cluster_run_cmd;
             node_cmd;
             lint_cmd;

@@ -11,6 +11,7 @@
      backend ({!node_main} is the entry point the subcommand calls). *)
 
 module Transport = Rdt_transport.Transport
+module Nemesis = Rdt_transport.Nemesis
 module Harness = Rdt_verify.Harness
 module Scenario = Rdt_verify.Scenario
 
@@ -23,8 +24,13 @@ let log_file root pid = Filename.concat (node_dir root pid) "node.log"
 
 (* --- node process bodies ------------------------------------------------ *)
 
-let node_main ~me ~dir ~coord_port () =
+let node_main ~me ~dir ~coord_port ?nemesis () =
   let tr = Tcp_transport.create ~me () in
+  let tr =
+    match nemesis with
+    | None -> tr
+    | Some cfg -> snd (Nemesis.wrap cfg tr)
+  in
   Transport.connect tr ~dst:Transport.coordinator_id ~port:coord_port;
   Node.main ~transport:tr ~dir ()
 
@@ -36,7 +42,7 @@ let with_log_fd root pid f =
   in
   Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
 
-let spawn_fork ~root ~coord_port pid =
+let spawn_fork ~root ~coord_port ?nemesis pid =
   match Unix.fork () with
   | 0 ->
     let code =
@@ -44,7 +50,7 @@ let spawn_fork ~root ~coord_port pid =
         with_log_fd root pid (fun fd ->
             Unix.dup2 fd Unix.stdout;
             Unix.dup2 fd Unix.stderr);
-        node_main ~me:pid ~dir:(node_dir root pid) ~coord_port ();
+        node_main ~me:pid ~dir:(node_dir root pid) ~coord_port ?nemesis ();
         0
       with e ->
         Printf.eprintf "node %d: %s\n%!" pid (Printexc.to_string e);
@@ -54,17 +60,20 @@ let spawn_fork ~root ~coord_port pid =
     Unix._exit code
   | child -> child
 
-let spawn_exec ~exe ~root ~coord_port pid =
+let spawn_exec ~exe ~root ~coord_port ?nemesis pid =
   let argv =
-    [|
+    [
       exe; "node";
       "--me"; string_of_int pid;
       "--dir"; node_dir root pid;
       "--coord-port"; string_of_int coord_port;
-    |]
+    ]
+    @ (match nemesis with
+      | None -> []
+      | Some cfg -> [ "--nemesis"; Nemesis.to_string cfg ])
   in
   with_log_fd root pid (fun fd ->
-      Unix.create_process exe argv Unix.stdin fd fd)
+      Unix.create_process exe (Array.of_list argv) Unix.stdin fd fd)
 
 (* --- process reaping ---------------------------------------------------- *)
 
@@ -107,7 +116,7 @@ let log_tail root pid ~lines =
 
 (* --- the run ------------------------------------------------------------ *)
 
-let run ~scenario ~root ~backend ?timeout ?log () =
+let run ~scenario ~root ~backend ?timeout ?nemesis ?on_nemesis ?log () =
   let sc = Scenario.normalize scenario in
   let n = sc.Scenario.n in
   Harness.rm_rf root;
@@ -116,13 +125,21 @@ let run ~scenario ~root ~backend ?timeout ?log () =
     Harness.mkdir_p (node_dir root pid)
   done;
   let coord = Tcp_transport.create ~me:Transport.coordinator_id () in
+  let coord, handles =
+    match nemesis with
+    | None -> (coord, [])
+    | Some cfg ->
+      let h, tr = Nemesis.wrap cfg coord in
+      (tr, [ h ])
+  in
+  (match on_nemesis with Some f -> f handles | None -> ());
   let coord_port = Transport.listen_port coord in
   let os_pids = Array.make n 0 in
   let spawn pid =
     os_pids.(pid) <-
       (match backend with
-      | Fork -> spawn_fork ~root ~coord_port pid
-      | Exec exe -> spawn_exec ~exe ~root ~coord_port pid)
+      | Fork -> spawn_fork ~root ~coord_port ?nemesis pid
+      | Exec exe -> spawn_exec ~exe ~root ~coord_port ?nemesis pid)
   in
   let ctl =
     {

@@ -59,19 +59,40 @@ let tick co =
 
 (* --- event plumbing ---------------------------------------------------- *)
 
-let next_event co ~what =
-  let deadline = Transport.now co.tr +. co.timeout in
+(* Bounded retry with backoff: under a nemesis, frames the coordinator
+   sends (and the replies they elicit) can be dropped or delayed, so
+   every send-and-wait is retransmitted on a backoff schedule.  Receivers
+   are idempotent against that (command seqs and Config epochs dedup), and
+   the nemesis guarantees per-key punch-through below [max_attempts], so
+   a partitioned node heals instead of wedging the run. *)
+let poll_slice = 0.1
+let max_attempts = 8
+
+(* The initial RTO only needs to clear the nemesis's worst-case delay
+   (~0.1s hold) plus processing on a loopback link; keeping it tight is
+   what makes fault-heavy fuzz campaigns affordable in wall-clock time.
+   A spurious retransmission is harmless — receivers dedup by seq. *)
+let initial_rto = 0.25
+let max_rto = 2.0
+
+(* one event, or None once [deadline] passes / the backend drains — under
+   virtual time the drained queue IS the timeout (nothing can arrive
+   until the waiter acts), which is what makes retransmission reachable
+   on the simulator backend too *)
+let next_event_opt co ~deadline =
   let rec go () =
     match Queue.take_opt co.inbox with
-    | Some ev -> ev
+    | Some ev -> Some ev
     | None -> begin
-      match Transport.poll co.tr ~timeout:1.0 with
-      | `Progress -> go ()
-      | `Timeout ->
-        if Transport.now co.tr > deadline then
-          failf "coordinator: timed out waiting for %s" what
-        else go ()
-      | `Idle -> failf "coordinator: cluster deadlocked waiting for %s" what
+      let now = Transport.now co.tr in
+      if now >= deadline then None
+      else begin
+        match
+          Transport.poll co.tr ~timeout:(Float.min poll_slice (deadline -. now))
+        with
+        | `Progress | `Timeout -> go ()
+        | `Idle -> None
+      end
     end
   in
   go ()
@@ -79,7 +100,7 @@ let next_event co ~what =
 (* Frames from concurrent nodes arrive in any order (n [Ready]s during
    registration, say); a frame the current wait does not accept is
    stashed and offered to later waits instead of treated as fatal. *)
-let await co ~what ~accept =
+let await_opt co ~what ~deadline ~accept =
   let rec from_stash acc =
     match Queue.take_opt co.stash with
     | None ->
@@ -97,31 +118,60 @@ let await co ~what ~accept =
     end
   in
   match from_stash (Queue.create ()) with
-  | Some v -> v
+  | Some v -> Some v
   | None ->
     let rec live () =
-      let ev = next_event co ~what in
-      match accept ev with
-      | Some v -> v
-      | None -> begin
-        match ev with
-        | Transport.Peer_down { peer } when peer >= 0 && co.down.(peer) ->
-          live () (* the kill we just issued *)
-        | Transport.Peer_down { peer } ->
-          failf "coordinator: node %d died waiting for %s" peer what
-        | Transport.Timer _ -> live ()
-        | Transport.Frame _ ->
-          Queue.add ev co.stash;
-          live ()
+      match next_event_opt co ~deadline with
+      | None -> None
+      | Some ev -> begin
+        match accept ev with
+        | Some v -> Some v
+        | None -> begin
+          match ev with
+          | Transport.Peer_down { peer } when peer >= 0 && co.down.(peer) ->
+            live () (* the kill we just issued *)
+          | Transport.Peer_down { peer } ->
+            failf "coordinator: node %d died waiting for %s" peer what
+          | Transport.Timer _ -> live ()
+          | Transport.Garbled { peer; error } ->
+            co.log
+              (Format.asprintf "garbled frame from %s: %a"
+                 (match peer with
+                 | Some p -> string_of_int p
+                 | None -> "unidentified peer")
+                 Wire.pp_error error);
+            live () (* the link resynchronized; retry covers the loss *)
+          | Transport.Frame _ ->
+            Queue.add ev co.stash;
+            live ()
+        end
       end
     in
     live ()
 
-let send_cmd co ~dst ~now cmd =
-  co.seq <- co.seq + 1;
-  let seq = co.seq in
-  Transport.send co.tr ~dst (Wire.Cmd { seq; now; cmd });
-  seq
+let await co ~what ~accept =
+  match
+    await_opt co ~what ~deadline:(Transport.now co.tr +. co.timeout) ~accept
+  with
+  | Some v -> v
+  | None -> failf "coordinator: timed out waiting for %s" what
+
+let with_retry co ~what ~send ~accept =
+  let deadline = Transport.now co.tr +. co.timeout in
+  let rec go attempt rto =
+    send ();
+    let att_deadline = Float.min deadline (Transport.now co.tr +. rto) in
+    match await_opt co ~what ~deadline:att_deadline ~accept with
+    | Some v -> v
+    | None ->
+      if attempt + 1 >= max_attempts then
+        failf "coordinator: no answer to %s after %d attempts" what
+          (attempt + 1)
+      else if Transport.now co.tr >= deadline then
+        failf "coordinator: timed out waiting for %s" what
+      else go (attempt + 1) (Float.min (rto *. 2.0) max_rto)
+  in
+  go 0 initial_rto
 
 let record_events co ~pid evs =
   List.iter
@@ -135,21 +185,24 @@ let record_events co ~pid evs =
         Trace.record_receive co.mirror ~pid ~msg_id ~src)
     evs
 
-let await_reply co ~from ~seq ~what =
+let command co ~dst ~now ~what cmd =
+  co.seq <- co.seq + 1;
+  let seq = co.seq in
+  (* one frame, retransmitted verbatim: the node dedups by seq and
+     resends its cached reply, so retries never re-execute the command *)
+  let frame = Wire.Cmd { seq; now; cmd } in
   let reply =
-    await co ~what ~accept:(function
-      | Transport.Frame { src; frame = Wire.Reply { seq = s; reply } }
-        when src = from && s = seq ->
-        Some reply
-      | _ -> None)
+    with_retry co ~what
+      ~send:(fun () -> Transport.send co.tr ~dst frame)
+      ~accept:(function
+        | Transport.Frame { src; frame = Wire.Reply { seq = s; reply } }
+          when src = dst && s = seq ->
+          Some reply
+        | _ -> None)
   in
   match reply with
-  | Wire.R_error { message } -> failf "node %d: %s (during %s)" from message what
+  | Wire.R_error { message } -> failf "node %d: %s (during %s)" dst message what
   | reply -> reply
-
-let command co ~dst ~now ~what cmd =
-  let seq = send_cmd co ~dst ~now cmd in
-  await_reply co ~from:dst ~seq ~what
 
 (* a command whose reply is R_done/R_sent: record events, return state *)
 let simple co ~dst ~now ~what cmd =
@@ -190,10 +243,18 @@ let config_frame co ~history ~sends_ever =
       ports = Array.copy co.ports;
       history;
       sends_ever;
+      (* every allocated seq has completed (serialized protocol), so this
+         restores the respawned node's at-most-once watermark: a delayed
+         retransmission of any pre-crash command can never re-execute *)
+      last_seq = co.seq;
     }
 
-let await_ready co ~pid =
-  await co ~what:"node readiness"
+(* Config-and-await-Ready, retransmitted as one unit: the node treats a
+   duplicate Config for its current epoch as "re-affirm readiness". *)
+let handshake co ~pid ~history ~sends_ever =
+  let frame = config_frame co ~history ~sends_ever in
+  with_retry co ~what:(Printf.sprintf "node %d readiness" pid)
+    ~send:(fun () -> Transport.send co.tr ~dst:pid frame)
     ~accept:(function
       | Transport.Frame { src; frame = Wire.Ready { pid = p } }
         when src = pid && p = pid ->
@@ -202,15 +263,20 @@ let await_ready co ~pid =
 
 let register_fresh co =
   let n = co.sc.Scenario.n in
-  for _ = 1 to n do
+  let seen = Array.make n false in
+  let remaining = ref n in
+  while !remaining > 0 do
     let pid, port = await_hello co ~expect_pid:None ~expect_recovering:false in
-    co.ports.(pid) <- port
+    (* nodes re-send Hello until configured: duplicates just re-announce
+       the same port, only the first sighting counts *)
+    co.ports.(pid) <- port;
+    if not seen.(pid) then begin
+      seen.(pid) <- true;
+      decr remaining
+    end
   done;
   for pid = 0 to n - 1 do
-    Transport.send co.tr ~dst:pid (config_frame co ~history:[] ~sends_ever:0)
-  done;
-  for pid = 0 to n - 1 do
-    await_ready co ~pid
+    handshake co ~pid ~history:[] ~sends_ever:0
   done;
   (* the transcript starts like the simulator's: every process stores s^0
      (the nodes' bootstrap did it before event capture began) *)
@@ -229,6 +295,23 @@ let history_of co ~pid =
       | Trace.Receive { msg_id; src } -> Wire.T_recv { msg_id; src })
     (Trace.events_of co.mirror ~pid)
 
+(* Frames a dead incarnation sent must not satisfy the respawn handshake:
+   a stale stashed Hello would re-register a dead port (peers would dial
+   into nothing), a stale Ready would complete the handshake before
+   recovery actually booted. *)
+let purge_stale co ~pid =
+  let keep = Queue.create () in
+  Queue.iter
+    (fun ev ->
+      match ev with
+      | Transport.Frame { src; frame = Wire.Hello _ | Wire.Ready _ }
+        when src = pid ->
+        ()
+      | ev -> Queue.add ev keep)
+    co.stash;
+  Queue.clear co.stash;
+  Queue.transfer keep co.stash
+
 let crash_op co ~op ~faulty =
   let n = co.sc.Scenario.n in
   let now = tick co in
@@ -239,7 +322,8 @@ let crash_op co ~op ~faulty =
   List.iter
     (fun f ->
       co.down.(f) <- true;
-      co.ctl.kill f)
+      co.ctl.kill f;
+      purge_stale co ~pid:f)
     faulty;
   (* 2. stop-world flush: survivors discard staged frames and enter the
      next epoch; frames still in flight die by epoch mismatch *)
@@ -251,17 +335,22 @@ let crash_op co ~op ~faulty =
   done;
   (* 3. respawn each faulty process from its durable store, handing it
      the transcript of its own surviving events (message-id restoration
-     included) *)
+     included).  All respawns must re-register BEFORE any Config goes
+     out: a respawned node redials every peer from the Config's port
+     table, so on a simultaneous multi-crash the table must already
+     hold the other respawns' new ports — a dead incarnation's port is
+     an ECONNREFUSED crash in the redialing node. *)
+  List.iter (fun f -> co.ctl.respawn f) faulty;
   List.iter
     (fun f ->
-      co.ctl.respawn f;
       let _, port = await_hello co ~expect_pid:(Some f) ~expect_recovering:true in
       co.ports.(f) <- port;
-      co.down.(f) <- false;
-      Transport.send co.tr ~dst:f
-        (config_frame co ~history:(history_of co ~pid:f)
-           ~sends_ever:co.sends_ever.(f));
-      await_ready co ~pid:f)
+      co.down.(f) <- false)
+    faulty;
+  List.iter
+    (fun f ->
+      handshake co ~pid:f ~history:(history_of co ~pid:f)
+        ~sends_ever:co.sends_ever.(f))
     faulty;
   (* 4. gather every process's stable state — the recovery manager's
      state query *)

@@ -49,8 +49,30 @@ type t = {
   mutable armed : armed option;
       (* delivery commanded before the frame arrived; reply deferred *)
   mutable events : Wire.tev list;  (* newest first, drained per reply *)
+  mutable last_seq : int;
+      (* at-most-once dedup: highest command seq answered (or, after a
+         respawn, completed by the coordinator pre-crash via Config) *)
+  mutable last_reply : Wire.reply option;
+      (* cached reply for last_seq, resent verbatim on a retransmission
+         so retried non-idempotent commands never re-execute *)
+  mutable hello : (unit -> unit) option;
+      (* re-send registration until Config arrives (the Hello itself may
+         be dropped by a nemesis or arrive before the coordinator) *)
   mutable finished : bool;
+  mutable coord_down : bool;  (* the coordinator's link died/closed *)
 }
+
+(* the registration retry timer; nemesis delay releases live at ids >=
+   {!Rdt_transport.Nemesis.timer_base}, far above this *)
+let hello_timer_id = 1
+let hello_retry = 0.5
+
+(* test override (satellite of the live-fuzz campaign): deliver every
+   message twice, a real duplication bug the campaign must catch.  Set
+   directly in-process or via RDTGC_TEST_DUP_DELIVER=1 for exec'd
+   nodes. *)
+let test_dup_deliver = ref false
+let set_test_dup_deliver v = test_dup_deliver := v
 
 let store_dir t = Filename.concat t.dir "store"
 
@@ -74,6 +96,8 @@ let state_of sys =
   }
 
 let reply t ~seq reply =
+  t.last_seq <- seq;
+  t.last_reply <- Some reply;
   Transport.send t.tr ~dst:Transport.coordinator_id (Wire.Reply { seq; reply })
 
 let sys_exn t =
@@ -84,7 +108,10 @@ let sys_exn t =
 (* --- boot -------------------------------------------------------------- *)
 
 let boot t ~n ~protocol ~ckpt_bytes ~epoch ~(history : Wire.tev list)
-    ~sends_ever =
+    ~sends_ever ~last_seq =
+  t.hello <- None;
+  t.last_seq <- last_seq;
+  t.last_reply <- None;
   let protocol =
     match Protocol.by_id protocol with
     | Some p -> p
@@ -146,7 +173,11 @@ let boot t ~n ~protocol ~ckpt_bytes ~epoch ~(history : Wire.tev list)
 let do_deliver sys ~now ~src ~msg_id ~dv ~index =
   Middleware.receive sys.mw
     { Middleware.msg_id; src; control = Control.make ~dv ~index }
-    ~now
+    ~now;
+  if !test_dup_deliver then
+    Middleware.receive sys.mw
+      { Middleware.msg_id; src; control = Control.make ~dv ~index }
+      ~now
 
 let handle_app t ~src ~(frame_epoch : int) ~msg_id ~dv ~index =
   if frame_epoch = t.epoch then begin
@@ -246,35 +277,71 @@ let handle t (ev : Transport.event) =
     ->
     handle_app t ~src ~frame_epoch:epoch ~msg_id ~dv ~index
   | Transport.Frame { src; frame = Wire.Cmd { seq; now; cmd } }
-    when src = Transport.coordinator_id -> begin
-    try handle_cmd t ~seq ~now cmd
-    with e ->
-      reply t ~seq (Wire.R_error { message = Printexc.to_string e })
-  end
+    when src = Transport.coordinator_id ->
+    (* at-most-once: the coordinator retransmits commands it got no
+       reply to (nemesis drop/delay), and commands are not idempotent —
+       dedup by seq and resend the cached reply instead of re-executing *)
+    if seq < t.last_seq then ()
+    else if seq = t.last_seq then begin
+      match t.last_reply with
+      | Some r ->
+        Transport.send t.tr ~dst:Transport.coordinator_id
+          (Wire.Reply { seq; reply = r })
+      | None -> ()  (* completed pre-crash; the coordinator moved on *)
+    end
+    else begin
+      match t.armed with
+      | Some a when a.a_seq = seq ->
+        ()  (* retransmission of the armed delivery; arrival will reply *)
+      | _ -> begin
+        try handle_cmd t ~seq ~now cmd
+        with e ->
+          reply t ~seq (Wire.R_error { message = Printexc.to_string e })
+      end
+    end
   | Transport.Frame
       { src;
         frame =
           Wire.Config
             { n; protocol; knowledge = _; ckpt_bytes; epoch; ports; history;
-              sends_ever } }
-    when src = Transport.coordinator_id ->
-    let recovering = not (List.is_empty history) in
-    boot t ~n ~protocol ~ckpt_bytes ~epoch ~history ~sends_ever;
-    (* establish the peer mesh: on a fresh start lower ids are dialed by
-       higher ids (one link per pair); a respawned node redials everyone,
-       and the peers' transports swap in the new link *)
-    for j = 0 to n - 1 do
-      if j <> t.me && (recovering || j < t.me) then
-        Transport.connect t.tr ~dst:j ~port:ports.(j)
-    done;
-    Transport.send t.tr ~dst:Transport.coordinator_id
-      (Wire.Ready { pid = t.me })
+              sends_ever; last_seq } }
+    when src = Transport.coordinator_id -> begin
+    match t.sys with
+    | Some _ when epoch = t.epoch ->
+      (* duplicate Config — the coordinator retrying a lost Ready; the
+         boot already happened, just re-affirm *)
+      Transport.send t.tr ~dst:Transport.coordinator_id
+        (Wire.Ready { pid = t.me })
+    | Some _ -> ()  (* stale straggler from an earlier epoch *)
+    | None ->
+      let recovering = not (List.is_empty history) in
+      boot t ~n ~protocol ~ckpt_bytes ~epoch ~history ~sends_ever ~last_seq;
+      (* establish the peer mesh: on a fresh start lower ids are dialed by
+         higher ids (one link per pair); a respawned node redials everyone,
+         and the peers' transports swap in the new link *)
+      for j = 0 to n - 1 do
+        if j <> t.me && (recovering || j < t.me) then
+          Transport.connect t.tr ~dst:j ~port:ports.(j)
+      done;
+      Transport.send t.tr ~dst:Transport.coordinator_id
+        (Wire.Ready { pid = t.me })
+  end
+  | Transport.Timer { id } when id = hello_timer_id -> begin
+    match t.hello with
+    | Some resend ->
+      resend ();
+      Transport.set_timer t.tr ~id:hello_timer_id ~after:hello_retry
+    | None -> ()
+  end
+  | Transport.Peer_down { peer } when peer = Transport.coordinator_id ->
+    t.coord_down <- true
   | Transport.Frame { src = _; frame = Wire.Hello _ }
   | Transport.Frame { src = _; frame = Wire.Ident _ }
   | Transport.Frame { src = _; frame = Wire.Ready _ }
   | Transport.Frame { src = _; frame = Wire.Reply _ }
   | Transport.Frame { src = _; frame = Wire.Cmd _ }
   | Transport.Frame { src = _; frame = Wire.Config _ }
+  | Transport.Garbled _  (* corruption detected and resynchronized past *)
   | Transport.Peer_down _ | Transport.Timer _ ->
     ()
 
@@ -283,6 +350,9 @@ let handle t (ev : Transport.event) =
 let create ~transport ~dir () =
   let me = Transport.me transport in
   Harness.mkdir_p dir;
+  (match Sys.getenv_opt "RDTGC_TEST_DUP_DELIVER" with
+  | Some "1" -> test_dup_deliver := true
+  | _ -> ());
   let t =
     {
       tr = transport;
@@ -294,7 +364,11 @@ let create ~transport ~dir () =
       doomed = Hashtbl.create 16;
       armed = None;
       events = [];
+      last_seq = 0;
+      last_reply = None;
+      hello = None;
       finished = false;
+      coord_down = false;
     }
   in
   let sdir = store_dir t in
@@ -302,16 +376,33 @@ let create ~transport ~dir () =
     Sys.file_exists sdir && Array.length (Sys.readdir sdir) > 0
   in
   Transport.set_handler transport (handle t);
-  Transport.send transport ~dst:Transport.coordinator_id
-    (Wire.Hello
-       { pid = me; port = Transport.listen_port transport; recovering });
+  let send_hello () =
+    Transport.send transport ~dst:Transport.coordinator_id
+      (Wire.Hello
+         { pid = me; port = Transport.listen_port transport; recovering })
+  in
+  send_hello ();
+  (* registration is unacknowledged until Config: keep re-sending in case
+     the Hello was lost (set_handler above replays any buffered Config,
+     so [hello] may already be cleared by the time we get here) *)
+  if
+    match t.sys with
+    | None -> true
+    | Some _ -> false
+  then begin
+    t.hello <- Some send_hello;
+    Transport.set_timer transport ~id:hello_timer_id ~after:hello_retry
+  end;
   t
 
 let finished t = t.finished
 
 let main ~transport ~dir () =
   let t = create ~transport ~dir () in
-  while not t.finished do
+  (* after C_shutdown, linger until the coordinator hangs up: its ack may
+     have been lost (nemesis), and the retransmitted command must still
+     find this process alive to resend the cached reply *)
+  while not (t.finished && t.coord_down) do
     match Transport.poll transport ~timeout:1.0 with
     | `Progress | `Timeout -> ()
     | `Idle -> failwith "node: transport went idle"

@@ -21,5 +21,10 @@ val create : transport:Rdt_transport.Transport.t -> dir:string -> unit -> t
 val finished : t -> bool
 (** True once [C_shutdown] was processed (store closed). *)
 
+val set_test_dup_deliver : bool -> unit
+(** Test override: deliver every message twice — a real duplication bug
+    the live-fuzz campaign must catch (acceptance self-check).  Global;
+    exec'd node processes enable it via [RDTGC_TEST_DUP_DELIVER=1]. *)
+
 val main : transport:Rdt_transport.Transport.t -> dir:string -> unit -> unit
 (** [create] then poll until shutdown; the body of a node OS process. *)

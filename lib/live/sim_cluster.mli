@@ -11,8 +11,18 @@ val run :
   scenario:Rdt_verify.Scenario.t ->
   root:string ->
   ?seed:int ->
+  ?nemesis:Rdt_transport.Nemesis.config ->
+  ?on_nemesis:(Rdt_transport.Nemesis.t list -> unit) ->
   ?log:(string -> unit) ->
   unit ->
   (Coordinator.run_record, string) result
 (** Wipes [root], spawns [n] in-process nodes, drives the scenario.
-    Store directories are left in place for the checker. *)
+    Store directories are left in place for the checker.
+
+    [nemesis] decorates {e every} endpoint — each node and the
+    coordinator — with {!Rdt_transport.Nemesis.wrap}, so faults apply
+    per directed link exactly as on the TCP backend; killing a node
+    also discards its held (delayed) frames, matching what SIGKILL does
+    to a real process.  [on_nemesis] receives the wrapper handles
+    (nodes in pid order, coordinator last) before the run starts, for
+    stats/schedule inspection afterwards. *)

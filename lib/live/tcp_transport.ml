@@ -71,7 +71,13 @@ let bury t conn ~notify =
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     t.conns <- List.filter (fun c -> c != conn) t.conns;
     match conn.peer with
-    | Some peer when Hashtbl.find_opt t.by_peer peer == Some conn ->
+    (* physical equality on the mapped connection itself: find_opt's
+       [Some] box is a fresh allocation, so [== Some conn] would never
+       match and the death would go unreported *)
+    | Some peer
+      when (match Hashtbl.find_opt t.by_peer peer with
+           | Some c -> c == conn
+           | None -> false) ->
       Hashtbl.remove t.by_peer peer;
       if notify then
         Transport.Mailbox.deliver t.mailbox (Transport.Peer_down { peer })
@@ -116,6 +122,10 @@ let identify t conn pid =
   Hashtbl.replace t.by_peer pid conn;
   flush_pending t pid conn
 
+let garbled t conn error =
+  Transport.Mailbox.deliver t.mailbox
+    (Transport.Garbled { peer = conn.peer; error })
+
 let drain_frames t conn =
   let again = ref true in
   while !again && conn.alive do
@@ -123,19 +133,31 @@ let drain_frames t conn =
     if conn.rlen >= Wire.header_bytes then begin
       match Wire.decode_header conn.rbuf ~pos:0 ~len:conn.rlen with
       | Error (Wire.Truncated _) -> ()
-      | Error _ -> bury t conn ~notify:true
+      | Error e ->
+        (* the length prefix itself is garbage, so the next frame
+           boundary is unknowable: surface the error and drop the link *)
+        garbled t conn e;
+        bury t conn ~notify:true
       | Ok header ->
         let total = Wire.header_bytes + header.Wire.h_len in
         if conn.rlen >= total then begin
+          let consume () =
+            Bytes.blit conn.rbuf total conn.rbuf 0 (conn.rlen - total);
+            conn.rlen <- conn.rlen - total;
+            again := true
+          in
           match
             Wire.decode_body header conn.rbuf ~pos:Wire.header_bytes
               ~len:conn.rlen
           with
-          | Error _ -> bury t conn ~notify:true
+          | Error e ->
+            (* the header was sound, so the frame boundary is known:
+               skip exactly this frame and resynchronize at the next —
+               corruption costs one frame, never the whole link *)
+            garbled t conn e;
+            consume ()
           | Ok frame ->
-            Bytes.blit conn.rbuf total conn.rbuf 0 (conn.rlen - total);
-            conn.rlen <- conn.rlen - total;
-            again := true;
+            consume ();
             (match (frame, conn.peer) with
             | Wire.Ident { pid }, _ -> identify t conn pid
             | _, Some peer ->
@@ -151,7 +173,17 @@ let drain_frames t conn =
 let read_ready t conn =
   grow conn 4096;
   match Unix.read conn.fd conn.rbuf conn.rlen (Bytes.length conn.rbuf - conn.rlen) with
-  | 0 -> bury t conn ~notify:true
+  | 0 ->
+    if conn.rlen > 0 then begin
+      (* the peer hung up mid-frame: those bytes can never decode *)
+      let wanted =
+        match Wire.decode_header conn.rbuf ~pos:0 ~len:conn.rlen with
+        | Ok h -> Wire.header_bytes + h.Wire.h_len
+        | Error _ -> Wire.header_bytes
+      in
+      garbled t conn (Wire.Truncated { wanted; have = conn.rlen })
+    end;
+    bury t conn ~notify:true
   | k ->
     conn.rlen <- conn.rlen + k;
     drain_frames t conn
@@ -275,6 +307,15 @@ let create ~me () =
     Transport.me;
     now = Unix.gettimeofday;
     send = (fun ~dst frame -> send t ~dst frame);
+    send_raw =
+      (fun ~dst bytes ->
+        (* the nemesis corruption hatch: raw bytes go only to peers with
+           an established link — there is no meaningful way to corrupt a
+           frame that is still waiting in the pending queue *)
+        match Hashtbl.find_opt t.by_peer dst with
+        | Some conn -> (
+          try write_all conn bytes with Conn_dead c -> bury t c ~notify:true)
+        | None -> ());
     connect = (fun ~dst ~port -> connect t ~dst ~port);
     listen_port = port;
     set_timer =

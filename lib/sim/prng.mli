@@ -13,6 +13,13 @@ val create : seed:int -> t
 (** [create ~seed] returns a fresh generator deterministically derived from
     [seed]. *)
 
+val mix : int64 -> int64
+(** The stateless splitmix64 finalizer: a high-quality 64-bit mixing
+    function.  Exposed for keyed hashing — components that need a
+    decision to be a pure function of some tuple of ints (the transport
+    nemesis's per-frame fault schedule) chain [mix] over the fields
+    instead of threading generator state. *)
+
 val split : t -> t
 (** [split t] derives an independent generator.  The state of [t] advances,
     but the returned stream is statistically independent from the values

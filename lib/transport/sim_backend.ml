@@ -63,6 +63,9 @@ let transport cl ~me =
       (fun ~dst frame ->
         Engine.send cl.engine ~reliable:true ~src:proc
           ~dst:(proc_of_endpoint dst) frame);
+    (* frames travel unencoded through the engine: raw corrupt bytes have
+       no representation here, so injected corruption is a no-op *)
+    send_raw = (fun ~dst:_ _ -> ());
     connect = (fun ~dst:_ ~port:_ -> ());
     listen_port = 0;
     set_timer =

@@ -6,6 +6,7 @@
 
 type event =
   | Frame of { src : int; frame : Wire.frame }
+  | Garbled of { peer : int option; error : Wire.error }
   | Peer_down of { peer : int }
   | Timer of { id : int }
 
@@ -15,6 +16,7 @@ type t = {
   me : int;  (* -1 = coordinator, 0..n-1 = nodes *)
   now : unit -> float;
   send : dst:int -> Wire.frame -> unit;
+  send_raw : dst:int -> Bytes.t -> unit;
   connect : dst:int -> port:int -> unit;
   listen_port : int;
   set_timer : id:int -> after:float -> unit;
@@ -28,6 +30,7 @@ let coordinator_id = -1
 let me t = t.me
 let now t = t.now ()
 let send t ~dst frame = t.send ~dst frame
+let send_raw t ~dst bytes = t.send_raw ~dst bytes
 let connect t ~dst ~port = t.connect ~dst ~port
 let listen_port t = t.listen_port
 let set_timer t ~id ~after = t.set_timer ~id ~after

@@ -8,6 +8,13 @@
 
 type event =
   | Frame of { src : int; frame : Wire.frame }
+  | Garbled of { peer : int option; error : Wire.error }
+      (** bytes on the link failed to decode ([peer] unknown when the
+          connection had not yet identified itself); the receiver
+          resynchronized at the next frame when the boundary was intact
+          and dropped the link otherwise.  Informational: owners ignore
+          it, tests assert on it.  Never raised by the simulator backend
+          (frames travel unencoded there). *)
   | Peer_down of { peer : int }
       (** the link to [peer] died (socket EOF / reset); never raised by
           the simulator backend *)
@@ -22,6 +29,11 @@ type t = {
   send : dst:int -> Wire.frame -> unit;
       (** asynchronous; TCP queues frames for peers whose connection is
           not yet established and flushes on identification *)
+  send_raw : dst:int -> Bytes.t -> unit;
+      (** write raw pre-framed bytes to an established link, bypassing
+          {!Wire.encode} — the {!Nemesis} corruption hatch.  Dropped
+          silently when no link to [dst] exists; a no-op in the
+          simulator backend. *)
   connect : dst:int -> port:int -> unit;
       (** establish a peer link (TCP dial; no-op in the simulator) *)
   listen_port : int;  (** 0 in the simulator *)
@@ -41,6 +53,7 @@ val coordinator_id : int
 val me : t -> int
 val now : t -> float
 val send : t -> dst:int -> Wire.frame -> unit
+val send_raw : t -> dst:int -> Bytes.t -> unit
 val connect : t -> dst:int -> port:int -> unit
 val listen_port : t -> int
 val set_timer : t -> id:int -> after:float -> unit

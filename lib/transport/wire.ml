@@ -88,6 +88,7 @@ type frame =
       ports : int array;
       history : tev list;
       sends_ever : int;
+      last_seq : int;
     }
   | Ready of { pid : int }
   | Cmd of { seq : int; now : float; cmd : cmd }
@@ -213,7 +214,7 @@ let put_frame b = function
     put_i64 b port;
     put_u8 b (if recovering then 1 else 0)
   | Config { n; protocol; knowledge; ckpt_bytes; epoch; ports; history;
-             sends_ever } ->
+             sends_ever; last_seq } ->
     put_u8 b 3;
     put_i64 b n;
     put_string b protocol;
@@ -222,7 +223,8 @@ let put_frame b = function
     put_i64 b epoch;
     put_int_array b ports;
     put_tevs b history;
-    put_i64 b sends_ever
+    put_i64 b sends_ever;
+    put_i64 b last_seq
   | Ready { pid } ->
     put_u8 b 4;
     put_i64 b pid
@@ -401,9 +403,10 @@ let get_frame c =
     let epoch = get_i64 c in
     let ports = get_int_array c in
     let history = get_tevs c in
+    let sends_ever = get_i64 c in
     Config
       { n; protocol; knowledge; ckpt_bytes; epoch; ports; history;
-        sends_ever = get_i64 c }
+        sends_ever; last_seq = get_i64 c }
   | 4 -> Ready { pid = get_i64 c }
   | 5 ->
     let seq = get_i64 c in

@@ -91,6 +91,11 @@ type frame =
           (** sends the node ever performed — message ids are monotone and
               survive rollbacks, so the counter must be restored past the
               truncated history *)
+      last_seq : int;
+          (** highest command seq the coordinator has completed against
+              this node: restores the node's at-most-once dedup watermark
+              across a respawn, so a delayed retransmission of an old
+              command can never re-execute (0 on a fresh start) *)
     }
   | Ready of { pid : int }
   | Cmd of { seq : int; now : float; cmd : cmd }

@@ -58,13 +58,13 @@ let greedy test sc =
 
 let default_budget = 1500
 
-let minimize ?mutate_lgc ?scratch_dir ?(budget = default_budget) ~oracle sc =
+let minimize_with ?(budget = default_budget) ~check sc =
   let attempts = ref 0 in
   let test cand =
     !attempts < budget
     && begin
          incr attempts;
-         reproduces ?mutate_lgc ?scratch_dir ~oracle cand
+         check cand
        end
   in
   let sc = Scenario.normalize sc in
@@ -79,3 +79,8 @@ let minimize ?mutate_lgc ?scratch_dir ?(budget = default_budget) ~oracle sc =
     else sc
   in
   fixpoint sc
+
+let minimize ?mutate_lgc ?scratch_dir ?budget ~oracle sc =
+  minimize_with ?budget
+    ~check:(fun cand -> reproduces ?mutate_lgc ?scratch_dir ~oracle cand)
+    sc

@@ -22,3 +22,11 @@ val minimize :
 (** [budget] caps the number of candidate executions (default
     {!default_budget}); the result is the smallest reproducer found
     within it.  Deterministic. *)
+
+val minimize_with :
+  ?budget:int -> check:(Scenario.t -> bool) -> Scenario.t -> Scenario.t
+(** The same ddmin/drop-procs/greedy fixpoint with a caller-supplied
+    execution: [check cand] must re-run the (already normalized)
+    candidate and report whether it still exhibits the original
+    failure.  For campaigns whose backend is not {!Harness.run} — the
+    live cluster shrinks failing scenarios through this. *)

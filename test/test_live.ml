@@ -9,6 +9,10 @@
 module Scenario = Rdt_verify.Scenario
 module Harness = Rdt_verify.Harness
 module Oracles = Rdt_verify.Oracles
+module Transport = Rdt_transport.Transport
+module Wire = Rdt_transport.Wire
+module Nemesis = Rdt_transport.Nemesis
+module Live_fuzz = Rdt_live.Live_fuzz
 
 let corpus_dir =
   if Sys.file_exists "corpus" then "corpus" else "test/corpus"
@@ -143,6 +147,275 @@ let test_tcp_stores_survive () =
             (not (List.is_empty recovered))
         done)
 
+(* --- wire-error surfacing on a live socket ------------------------------ *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let k = Unix.write fd b pos len in
+    write_all fd b (pos + k) (len - k)
+  end
+
+(* Connect a raw client to a fresh TCP endpoint, identify as [pid 5],
+   write the crafted byte sequences, and poll until [want] events (or a
+   deadline) arrive.  Returns the events in arrival order. *)
+let drive_raw ?(close_early = false) ~want chunks =
+  let tr = Rdt_live.Tcp_transport.create ~me:9 () in
+  let events = ref [] in
+  let count = ref 0 in
+  Transport.set_handler tr (fun ev ->
+      events := ev :: !events;
+      incr count);
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Transport.close tr)
+    (fun () ->
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Transport.listen_port tr));
+      write_all fd (Wire.encode (Wire.Ident { pid = 5 })) 0
+        (Bytes.length (Wire.encode (Wire.Ident { pid = 5 })));
+      List.iter (fun b -> write_all fd b 0 (Bytes.length b)) chunks;
+      if close_early then Unix.close fd;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while !count < want && Unix.gettimeofday () < deadline do
+        ignore (Transport.poll tr ~timeout:0.05)
+      done;
+      List.rev !events)
+
+let sample_app =
+  Wire.App { epoch = 1; msg_id = 3; src = 5; dv = [| 1; 2; 3 |]; index = 1 }
+
+let header_with ~len =
+  let b = Bytes.create Wire.header_bytes in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_int32_be b 4 0l;
+  b
+
+let check_garbled what ev pred =
+  match ev with
+  | Transport.Garbled { peer = Some 5; error } when pred error -> ()
+  | Transport.Garbled { peer; error } ->
+    Alcotest.failf "%s: unexpected Garbled (peer=%s): %s" what
+      (match peer with Some p -> string_of_int p | None -> "?")
+      (Wire.error_to_string error)
+  | _ -> Alcotest.failf "%s: expected a Garbled event" what
+
+let check_peer_down what ev =
+  match ev with
+  | Transport.Peer_down { peer = 5 } -> ()
+  | _ -> Alcotest.failf "%s: expected Peer_down for the garbled link" what
+
+(* A garbage length prefix makes the next frame boundary unknowable: the
+   transport must surface the decode error and drop the link. *)
+let test_wire_error_kills_link () =
+  List.iter
+    (fun (what, len, pred) ->
+      match drive_raw ~want:2 [ header_with ~len ] with
+      | [ g; d ] ->
+        check_garbled what g pred;
+        check_peer_down what d
+      | evs ->
+        Alcotest.failf "%s: expected 2 events, got %d" what (List.length evs))
+    [
+      ( "oversized",
+        Wire.max_frame_bytes + 1,
+        function Wire.Oversized _ -> true | _ -> false );
+      ("bad-length", -10, function Wire.Bad_length _ -> true | _ -> false);
+    ]
+
+(* A sound header over a corrupt body costs exactly one frame: the error
+   surfaces and the very next (intact) frame on the same socket is
+   delivered — the resynchronization contract the nemesis's corruption
+   fault relies on. *)
+let test_wire_error_resync () =
+  List.iter
+    (fun (what, style, pred) ->
+      let garbled = Nemesis.garble style (Wire.encode sample_app) in
+      match drive_raw ~want:2 [ garbled; Wire.encode sample_app ] with
+      | [ g; f ] -> begin
+        check_garbled what g pred;
+        match f with
+        | Transport.Frame { src = 5; frame = Wire.App { msg_id = 3; _ } } -> ()
+        | _ -> Alcotest.failf "%s: intact frame not delivered after resync" what
+      end
+      | evs ->
+        Alcotest.failf "%s: expected 2 events, got %d" what (List.length evs))
+    [
+      ( "crc-mismatch",
+        Nemesis.Flip_payload,
+        function Wire.Crc_mismatch _ -> true | _ -> false );
+      ("bad-tag", Nemesis.Forge_tag, function Wire.Bad_tag _ -> true | _ -> false);
+      ( "malformed",
+        Nemesis.Trailing,
+        function Wire.Malformed _ -> true | _ -> false );
+    ]
+
+let test_wire_error_truncated () =
+  let enc = Wire.encode sample_app in
+  let partial = Bytes.sub enc 0 (Bytes.length enc - 3) in
+  match drive_raw ~close_early:true ~want:2 [ partial ] with
+  | [ g; d ] ->
+    check_garbled "truncated" g (function
+      | Wire.Truncated _ -> true
+      | _ -> false);
+    check_peer_down "truncated" d
+  | evs -> Alcotest.failf "truncated: expected 2 events, got %d" (List.length evs)
+
+(* --- nemesis corpus ----------------------------------------------------- *)
+
+let load_nemesis name =
+  let path = Filename.concat corpus_dir (name ^ ".nms") in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  match Nemesis.of_string line with
+  | Ok cfg -> cfg
+  | Error e -> Alcotest.failf "cannot parse %s.nms: %s" name e
+
+let load_scenario name =
+  match Scenario.load (Filename.concat corpus_dir (name ^ ".scn")) with
+  | Ok sc -> sc
+  | Error e -> Alcotest.failf "cannot load %s.scn: %s" name e
+
+let replay_pair ~backend name =
+  let sc = load_scenario name in
+  let nemesis = load_nemesis name in
+  let root = fresh_root ("nms-" ^ name) in
+  Fun.protect
+    ~finally:(fun () ->
+      Harness.rm_rf root;
+      Harness.rm_rf (root ^ ".replay"))
+    (fun () ->
+      match Live_fuzz.run_one ~backend ~root ~nemesis sc with
+      | Error e -> Alcotest.failf "%s run failed: %s" name e
+      | Ok vs -> check_clean (name ^ " oracles") vs)
+
+let nemesis_corpus =
+  [ "live_nemesis_partition"; "live_nemesis_dup"; "live_nemesis_delay" ]
+
+let test_nemesis_corpus_sim () =
+  List.iter (replay_pair ~backend:Live_fuzz.Sim) nemesis_corpus
+
+let test_nemesis_corpus_tcp () =
+  let backend = Live_fuzz.Live (tcp_backend ()) in
+  replay_pair ~backend "live_nemesis_partition"
+
+(* --- coordinator retry under partition ---------------------------------- *)
+
+(* Regression for the command-loop retry: a directed partition between
+   the coordinator and node 0 (both ways, healing after 2 suppressed
+   transmissions per frame) must be ridden out by retransmission — the
+   run completes and still matches the replay, and the nemesis really
+   did drop frames. *)
+let test_partition_heal () =
+  let sc = smoke_scenario () in
+  let part ~from ~to_ =
+    { Nemesis.pt_from = from; pt_to = to_; pt_start = 0; pt_len = 4;
+      pt_attempts = 2 }
+  in
+  let nemesis =
+    {
+      Nemesis.default with
+      seed = 5;
+      partitions =
+        [
+          part ~from:Transport.coordinator_id ~to_:0;
+          part ~from:0 ~to_:Transport.coordinator_id;
+        ];
+    }
+  in
+  let handles = ref [] in
+  let root = fresh_root "heal" in
+  Fun.protect
+    ~finally:(fun () ->
+      Harness.rm_rf root;
+      Harness.rm_rf (root ^ ".replay"))
+    (fun () ->
+      let record =
+        match
+          Rdt_live.Sim_cluster.run ~scenario:sc ~root ~nemesis
+            ~on_nemesis:(fun hs -> handles := hs) ()
+        with
+        | Error e -> Alcotest.failf "partitioned run failed: %s" e
+        | Ok r -> r
+      in
+      let scratch = root ^ ".replay" in
+      let c = Rdt_live.Checker.check ~record ~root ~scratch_dir:scratch () in
+      check_clean "partition-heal checker" c.Rdt_live.Checker.violations;
+      let dropped =
+        List.fold_left
+          (fun acc h -> acc + (Nemesis.stats h).Nemesis.st_dropped)
+          0 !handles
+      in
+      Alcotest.(check bool) "the partition suppressed transmissions" true
+        (dropped > 0))
+
+(* --- the injected duplicate-delivery bug -------------------------------- *)
+
+(* The campaign's acceptance bar: with the test-only delivery-duplication
+   fault switched on, the oracles catch it, and the committed shrunk
+   reproducer pins it forever. *)
+let with_dup_deliver f =
+  Rdt_live.Node.set_test_dup_deliver true;
+  Fun.protect
+    ~finally:(fun () -> Rdt_live.Node.set_test_dup_deliver false)
+    f
+
+let test_dup_bug_campaign_catches () =
+  let root = fresh_root "dup-campaign" in
+  Fun.protect
+    ~finally:(fun () -> Harness.rm_rf root)
+    (fun () ->
+      let report =
+        Live_fuzz.campaign ~backend:Live_fuzz.Sim ~shrink:false
+          ~mutate_deliver:true ~seed:7 ~runs:1 ~max_procs:4 ~root ()
+      in
+      Alcotest.(check bool) "mutated cluster caught" false
+        (Live_fuzz.passed report))
+
+let test_dup_bug_reproducer () =
+  let sc = load_scenario "live_dup_bug.min" in
+  let nemesis = Nemesis.default in
+  let run () =
+    let root = fresh_root "dup-min" in
+    Fun.protect
+      ~finally:(fun () ->
+        Harness.rm_rf root;
+        Harness.rm_rf (root ^ ".replay"))
+      (fun () ->
+        match Live_fuzz.run_one ~backend:Live_fuzz.Sim ~root ~nemesis sc with
+        | Error e -> Alcotest.failf "reproducer run failed: %s" e
+        | Ok vs -> vs)
+  in
+  let buggy = with_dup_deliver run in
+  Alcotest.(check bool) "reproducer catches the duplication" true
+    (not (List.is_empty buggy));
+  check_clean "reproducer is clean without the bug" (run ())
+
+(* --- campaign determinism ----------------------------------------------- *)
+
+let test_campaign_deterministic () =
+  let one name =
+    let buf = Buffer.create 1024 in
+    let root = fresh_root name in
+    Fun.protect
+      ~finally:(fun () ->
+        Harness.rm_rf root;
+        Harness.rm_rf (Filename.concat root "run" ^ ".replay"))
+      (fun () ->
+        ignore
+          (Live_fuzz.campaign ~backend:Live_fuzz.Sim ~shrink:false
+             ~log:(fun s ->
+               Buffer.add_string buf s;
+               Buffer.add_char buf '\n')
+             ~seed:11 ~runs:2 ~max_procs:3 ~root ());
+        Buffer.contents buf)
+  in
+  (* distinct roots: the log must be a pure function of the arguments *)
+  let a = one "camp-a" and b = one "camp-b" in
+  Alcotest.(check string) "byte-identical campaign logs" a b
+
 let suite =
   [
     Alcotest.test_case "sim cluster passes the black-box checker" `Quick
@@ -153,4 +426,22 @@ let suite =
                         recovery)" `Slow test_tcp_cluster;
     Alcotest.test_case "tcp stores recover after the run" `Slow
       test_tcp_stores_survive;
+    Alcotest.test_case "garbage length prefix surfaces and drops the link"
+      `Quick test_wire_error_kills_link;
+    Alcotest.test_case "corrupt body surfaces and resynchronizes" `Quick
+      test_wire_error_resync;
+    Alcotest.test_case "mid-frame hangup surfaces as Truncated" `Quick
+      test_wire_error_truncated;
+    Alcotest.test_case "nemesis corpus replays clean on the simulator" `Quick
+      test_nemesis_corpus_sim;
+    Alcotest.test_case "nemesis corpus replays clean over TCP" `Slow
+      test_nemesis_corpus_tcp;
+    Alcotest.test_case "coordinator retry rides out a healing partition"
+      `Quick test_partition_heal;
+    Alcotest.test_case "campaign catches the injected duplicate delivery"
+      `Quick test_dup_bug_campaign_catches;
+    Alcotest.test_case "committed dup-bug reproducer still bites" `Quick
+      test_dup_bug_reproducer;
+    Alcotest.test_case "campaign logs are byte-identical across runs" `Quick
+      test_campaign_deterministic;
   ]

@@ -30,5 +30,6 @@ let () =
       ("shards", Test_shards.suite);
       ("lint", Test_lint.suite);
       ("wire", Test_wire.suite);
+      ("nemesis", Test_nemesis.suite);
       ("live", Test_live.suite);
     ]

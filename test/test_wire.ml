@@ -220,10 +220,11 @@ let gen_frame =
        let* ports = gen_dv n in
        let* history = gen_tevs in
        let* sends_ever = small_int in
+       let* last_seq = small_int in
        return
          (Wire.Config
             { n; protocol; knowledge; ckpt_bytes; epoch; ports; history;
-              sends_ever }));
+              sends_ever; last_seq }));
       map (fun pid -> Wire.Ready { pid }) small_int;
       (let* seq = small_int in
        let* now = map float_of_int small_int in
@@ -241,6 +242,34 @@ let qcheck_roundtrip =
       | Error e -> QCheck.Test.fail_reportf "%s" (Wire.error_to_string e)
       | Ok (decoded, consumed) ->
         consumed = Bytes.length (Wire.encode frame) && frame_eq frame decoded)
+
+(* every nemesis corruption style must keep the length prefix sound (so
+   a receiver can resynchronize at the next frame) while failing decode
+   with its advertised error class *)
+let qcheck_garble =
+  let module Nemesis = Rdt_transport.Nemesis in
+  let gen =
+    QCheck.Gen.(
+      pair gen_frame
+        (oneofl
+           [ Nemesis.Flip_payload; Nemesis.Forge_tag; Nemesis.Trailing ]))
+  in
+  QCheck.Test.make ~count:300 ~name:"garble styles fail with their class"
+    (QCheck.make gen) (fun (frame, style) ->
+      let g = Nemesis.garble style (Wire.encode frame) in
+      let header_ok =
+        match Wire.decode_header g ~pos:0 ~len:(Bytes.length g) with
+        | Ok h -> Wire.header_bytes + h.Wire.h_len = Bytes.length g
+        | Error _ -> false
+      in
+      let class_ok =
+        match (Wire.decode g, style) with
+        | Error (Wire.Crc_mismatch _), Nemesis.Flip_payload -> true
+        | Error (Wire.Bad_tag _), Nemesis.Forge_tag -> true
+        | Error (Wire.Malformed _), Nemesis.Trailing -> true
+        | _ -> false
+      in
+      header_ok && class_ok)
 
 let test_streaming () =
   (* two frames back to back: decode consumes exactly the first *)
@@ -271,4 +300,5 @@ let suite =
     Alcotest.test_case "golden frame layout" `Quick test_golden;
     Alcotest.test_case "back-to-back frames stream" `Quick test_streaming;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_garble;
   ]
