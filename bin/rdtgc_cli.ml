@@ -838,7 +838,7 @@ let live_fuzz_cmd =
 
 (* --- lint ---------------------------------------------------------------- *)
 
-let do_lint root dirs baseline json update_baseline output =
+let do_lint root dirs baseline json update_baseline output only =
   let baseline_file =
     match baseline with
     | Some f -> Some f
@@ -847,6 +847,18 @@ let do_lint root dirs baseline json update_baseline output =
       let cand = Filename.concat root "lint_baseline.txt" in
       if Sys.file_exists cand then Some cand else None
   in
+  (match only with
+  | Some prefix
+    when not
+           (List.exists
+              (String.starts_with ~prefix)
+              Rdt_lint.Rules.ids) ->
+    prerr_endline
+      (Printf.sprintf
+         "lint: --only %s matches no known rule or family; known rules:" prefix);
+    List.iter prerr_endline Rdt_lint.Rules.ids;
+    exit 2
+  | Some _ | None -> ());
   let opts =
     {
       Rdt_lint.Lint.root;
@@ -855,6 +867,7 @@ let do_lint root dirs baseline json update_baseline output =
       json;
       update_baseline;
       output;
+      only;
     }
   in
   exit (Rdt_lint.Lint.run opts)
@@ -866,9 +879,14 @@ let lint_cmd =
      hash-order iteration), zero-allocation hot paths \
      ($(b,[@@@lint.zero_alloc_hot])), unsafe-op hygiene \
      ($(b,[@@lint.bounds_checked]) + file allowlist) and polymorphic \
-     compare at non-scalar types.  Suppress per site with $(b,[@lint.allow \
-     \"rule-id\" \"justification\"]).  Exit 1 iff there are findings not \
-     covered by the baseline."
+     compare at non-scalar types, and shard-ownership / data-race \
+     discipline for the domain-parallel engine ($(b,mt/*): mutable state \
+     escaping into a domain-crossing scope, two scopes writing one \
+     global, non-atomic cross-scope reads, un-striped shared-array \
+     writes).  Suppress per site with $(b,[@lint.allow \"rule-id\" \
+     \"justification\"]) or, for the mt family, $(b,[@lint.single_writer \
+     \"why\"]).  Use $(b,--only mt/) to run one family.  Exit 1 iff there \
+     are findings not covered by the baseline."
   in
   let root_arg =
     Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR"
@@ -897,10 +915,17 @@ let lint_cmd =
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
            ~doc:"Also write the report to $(docv) (e.g. a CI artifact).")
   in
+  let only_arg =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"PREFIX"
+           ~doc:"Report only rules whose id starts with $(docv): a family \
+                 (e.g. $(b,mt/), $(b,det/)) or one full rule id.  The \
+                 baseline view is filtered the same way; \
+                 $(b,--update-baseline) still writes the full scan.")
+  in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const do_lint $ root_arg $ dir_arg $ baseline_arg $ json_arg
-      $ update_arg $ output_arg)
+      $ update_arg $ output_arg $ only_arg)
 
 let () =
   let doc =

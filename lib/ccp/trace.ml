@@ -56,6 +56,16 @@ type t = {
   last_k : int array;
 }
 
+(* Recording runs inside engine windows, concurrently across shards
+   under parallel dispatch, so everything [record] (and the helpers it
+   calls) writes is striped by the recording process: log vectors,
+   last-stamp rows, msg-id counters, stamp cells and pending buffers are
+   all per pid, and a pid only executes on its owning shard's domain.
+   [finalize] and the serialization below run at a barrier (or after the
+   run) and are deliberately not scopes. *)
+[@@@lint.domain_scope
+  "record:pid" "pending_push:p" "pending_grow:p" "fresh_msg_id:pid"]
+
 let fresh_pending () =
   { p_len = 0; p_time = [||]; p_u = [||]; p_v = [||]; p_k = [||]; p_ev = [||] }
 
@@ -174,7 +184,11 @@ let record t ~pid kind =
     match t.order_source with
     | None ->
       let ev = { seq = t.next_seq; pid; kind } in
-      t.next_seq <- t.next_seq + 1;
+      (t.next_seq <- t.next_seq + 1)
+      [@lint.single_writer
+        "no order source means sequential or inline dispatch: a single \
+         domain records (sharded runs install a source and take the \
+         other branch)"];
       Vec.push t.logs.(pid) ev;
       List.iter (fun f -> f ev) t.on_event
     | Some source ->

@@ -16,6 +16,19 @@ module Series = Rdt_metrics.Series
    collection depends on synchronization — the paper's point). *)
 let coordinator = 0
 
+(* The runner's window-side seams.  [handle_message] is the receiver the
+   engine invokes inside a window on the owning process's shard;
+   [control_send] stripes its counter by the sending process's shard.
+   The round functions ([start_round], [finish_round], [on_gc_reply])
+   also run inside windows, but every path into them is pinned to the
+   coordinator's shard, so [t.rounds] has a single writing domain — the
+   [@@lint.single_writer] on each says exactly that.  [crash], [recover]
+   and [sample] run as unrouted global actions at a window barrier and
+   are not scopes. *)
+[@@@lint.domain_scope
+  "control_send:src" "handle_message:pid" "start_round" "finish_round"
+  "on_gc_reply"]
+
 type round_state = {
   mutable next_round : int;
   mutable open_round : int option;
@@ -150,6 +163,9 @@ let start_round t =
         else control_send t ~src:coordinator ~dst:pid (Sim_msg.Gc_query { round }))
       up
   end
+[@@lint.single_writer
+  "t.rounds is coordinator round state: this only runs from the gc timer \
+   pinned to the coordinator's shard"]
 
 let apply_collect t pid indices =
   let store = Middleware.store t.middlewares.(pid) in
@@ -193,6 +209,9 @@ let finish_round t round =
     t.rounds.rounds_completed <- t.rounds.rounds_completed + 1
   end;
   t.rounds.open_round <- None
+[@@lint.single_writer
+  "t.rounds is coordinator round state: only reached from on_gc_reply, \
+   which executes on the coordinator's shard"]
 
 let on_gc_reply t ~round ~pid snapshot =
   match t.rounds.open_round with
@@ -203,6 +222,9 @@ let on_gc_reply t ~round ~pid snapshot =
         finish_round t round
     end
   | Some _ | None -> ()
+[@@lint.single_writer
+  "t.rounds is coordinator round state: replies are control messages \
+   addressed to the coordinator, so this executes on its shard"]
 
 let rec arm_gc_timer t ~period =
   (* pinned to the coordinator: the round logic only touches the

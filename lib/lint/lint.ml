@@ -10,6 +10,7 @@ type options = {
   json : bool;
   update_baseline : bool;
   output : string option;  (* write the report here as well as stdout *)
+  only : string option;  (* rule-id prefix filter, e.g. "mt/" *)
 }
 
 let default_options =
@@ -20,7 +21,12 @@ let default_options =
     json = false;
     update_baseline = false;
     output = None;
+    only = None;
   }
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
 
 let scan ?(cfg = Lint_config.default) ~root ~dirs () =
   let d = Discover.find_cmts ~root ~dirs in
@@ -43,17 +49,34 @@ let scan ?(cfg = Lint_config.default) ~root ~dirs () =
 let run ?(cfg = Lint_config.default) opts =
   let scans, warns = scan ~cfg ~root:opts.root ~dirs:opts.dirs () in
   let all_findings = scans.Engine.findings in
+  (* --only narrows reporting (and the view of the baseline, so other
+     families' baselined fingerprints do not surface as stale) to one
+     rule-id prefix; both reporters see the filtered summary.  The
+     baseline is always rewritten from the unfiltered scan so a filtered
+     run cannot silently drop other families' entries. *)
+  let keep rule =
+    match opts.only with
+    | None -> true
+    | Some prefix -> has_prefix ~prefix rule
+  in
+  let findings = List.filter (fun (f : Finding.t) -> keep f.rule) all_findings in
+  let suppressed =
+    List.filter (fun ((f : Finding.t), _) -> keep f.rule) scans.Engine.suppressed
+  in
   let baseline =
     match opts.baseline_file with
     | None -> Baseline.empty
     | Some path -> Option.value (Baseline.load path) ~default:Baseline.empty
   in
-  let fresh, baselined, stale = Baseline.apply baseline all_findings in
+  let baseline =
+    { Baseline.entries = List.filter keep baseline.Baseline.entries }
+  in
+  let fresh, baselined, stale = Baseline.apply baseline findings in
   let summary =
     {
       Report.findings = fresh;
       baselined;
-      suppressed = scans.Engine.suppressed;
+      suppressed;
       stale_baseline = stale;
       warnings = warns;
     }

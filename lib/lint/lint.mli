@@ -7,6 +7,12 @@ type options = {
   json : bool;
   update_baseline : bool;
   output : string option;
+  only : string option;
+      (** Restrict reporting to rule ids with this prefix (a family like
+          ["mt/"], or one full id).  Text and JSON reporters both see the
+          filtered summary; fingerprints of other families neither fail
+          the run nor show as stale.  [--update-baseline] still writes
+          the unfiltered scan. *)
 }
 
 val default_options : options

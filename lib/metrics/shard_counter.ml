@@ -1,5 +1,11 @@
 type t = int array
 
+(* The whole point of this type is the stripe discipline the mt/* rules
+   check: a writer may only touch the slot it owns (its shard index), so
+   concurrent increments never share a cell.  [total]/[per_slot]/[reset]
+   are barrier-side aggregation. *)
+[@@@lint.domain_scope "incr:slot" "add:slot"]
+
 let create ~slots =
   if slots <= 0 then invalid_arg "Shard_counter.create: slots must be positive";
   Array.make slots 0

@@ -39,6 +39,12 @@ type t = {
    round's job otherwise.  The engine uses this to find "its" shard from
    inside an event handler without threading the index through every
    callback. *)
+(* [worker] is the body every spawned team member runs ([Domain.spawn]
+   gets it partially applied, so rdt_lint cannot see the closure); its
+   owned root is the fixed member index [i].  Everything else it touches
+   is either atomic or guarded by [t.m]. *)
+[@@@lint.domain_scope "worker:i"]
+
 let dls_index = Domain.DLS.new_key (fun () -> 0)
 let self_index () = Domain.DLS.get dls_index
 
@@ -80,7 +86,8 @@ let worker t i () =
         (try t.job i
          with e ->
            Mutex.lock t.m;
-           t.failures <- (i, e) :: t.failures;
+           (t.failures <- (i, e) :: t.failures)
+           [@lint.single_writer "guarded by t.m, held on both lines around"];
            Mutex.unlock t.m);
         if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
           (* last one out: the caller may already have parked *)

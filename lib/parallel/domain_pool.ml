@@ -9,10 +9,17 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* [worker_loop] runs on the spawned domains; [task] is what [map]
+   queues for them, owning the input slot [i] it writes its result to.
+   Both take [t.mutex] around every shared write. *)
+[@@@lint.domain_scope "worker_loop" "task:i"]
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   let rec next () =
-    match Queue.take_opt t.queue with
+    match (Queue.take_opt t.queue
+           [@lint.single_writer "t.mutex is held across the whole wait loop"])
+    with
     | Some job -> Some job
     | None ->
       if t.shut then None
@@ -58,7 +65,8 @@ let map t f xs =
     let r = try Ok (f inputs.(i)) with e -> Error e in
     Mutex.lock t.mutex;
     results.(i) <- Some r;
-    decr remaining;
+    (decr remaining)
+    [@lint.single_writer "guarded by t.mutex, locked on the line above"];
     if !remaining = 0 then Condition.broadcast finished;
     Mutex.unlock t.mutex
   in

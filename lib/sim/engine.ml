@@ -47,6 +47,26 @@ type stats = {
   "note_insert" "pick_verify" "pick_merged" "exec_merged" "step_merged"
   "run_merged" "finish_mt"]
 
+(* The mt/* ownership contract (DESIGN.md §16).  These functions execute
+   inside a window — on a team member's domain under parallel dispatch —
+   so every mutable write in them must stay on state owned by their
+   declared root: the shard/slice index ([window_job], [process_shard]),
+   the shard record itself ([step_shard], [execute]), the caller's stamp
+   cell ([read_stamp]), the sending process ([send], and [outbox_push],
+   whose mailbox row [ss] belongs to the writing shard), the owning
+   process of a scheduled action ([schedule]), or the cell being grown
+   ([grow_outcell], [note_insert] — a shard only lowers its own cached
+   head-time entry during a window, see the comment at [note_insert]).
+   The barrier-side functions ([dispatch], [drain_outboxes],
+   [window_round], [exec_globals_at], the merged executor, [create]) run
+   on the caller's domain with the team parked and are deliberately not
+   scopes. *)
+[@@@lint.domain_scope
+  "window_job:s" "process_shard:s" "step_shard:sh" "execute:sh"
+  "read_stamp:c" "send:src" "schedule:owner:pin" "note_insert:qi"
+  "outbox_push:ss" "grow_outcell:box"]
+[@@@lint.domain_index "self_shard"]
+
 let[@inline] fmin (a : float) (b : float) = if a < b then a else b
 
 type 'msg shard = {
@@ -178,7 +198,10 @@ let read_stamp t (c : Stamp.t) =
     (* setup-time records (initial checkpoints): ordered before every
        event, in call order *)
     let k = t.setup_seq in
-    t.setup_seq <- k + 1;
+    (t.setup_seq <- k + 1)
+    [@lint.single_writer
+      "Idle phase: no window is executing, so the caller's domain is the \
+       only writer"];
     Stamp.set c ~time:neg_infinity ~u:0 ~v:k
   | Global -> Stamp.set c ~time:t.gclock.(0) ~u:max_int ~v:t.gcur_v
   | Windows ->
@@ -315,10 +338,15 @@ let send t ?(reliable = false) ~src ~dst msg =
        it (DESIGN.md §13). *)
     if t.parallel && in_windows t.phase && ds <> ss then
       outbox_push t ss ds ~time:at ~u ~v ev
-    else begin
-      Event_queue.add_keyed_unit t.shards.(ds).queue ~time:at ~u ~v ev;
-      note_insert t ds at
-    end
+    else
+      begin
+        Event_queue.add_keyed_unit t.shards.(ds).queue ~time:at ~u ~v ev;
+        note_insert t ds at
+      end
+      [@lint.single_writer
+        "cross-shard under parallel dispatch took the outbox branch above; \
+         here either ds = sender's shard or a single domain runs every \
+         slice (inline dispatch)"]
 
 let schedule t ?owner ?pin ~at f =
   if at < now t then invalid_arg "Engine.schedule: time in the past";
@@ -339,20 +367,26 @@ let schedule t ?owner ?pin ~at f =
     note_insert t ds at;
     h
   | None ->
-    if t.nshards > 1 && in_windows t.phase then
-      invalid_arg
-        "Engine.schedule: global (unrouted) action from inside a shard; \
-         give it an owner or pin";
-    let v = t.glob_seq in
-    t.glob_seq <- v + 1;
-    let q, qi =
-      if t.nshards = 1 then (t.shards.(0).queue, 0) else (t.global, t.nshards)
-    in
-    let h =
-      Event_queue.add_keyed q ~time:at ~u:max_int ~v (Action { owner = None; f })
-    in
-    note_insert t qi at;
-    h
+    begin
+      if t.nshards > 1 && in_windows t.phase then
+        invalid_arg
+          "Engine.schedule: global (unrouted) action from inside a shard; \
+           give it an owner or pin";
+      let v = t.glob_seq in
+      t.glob_seq <- v + 1;
+      let q, qi =
+        if t.nshards = 1 then (t.shards.(0).queue, 0) else (t.global, t.nshards)
+      in
+      let h =
+        Event_queue.add_keyed q ~time:at ~u:max_int ~v
+          (Action { owner = None; f })
+      in
+      note_insert t qi at;
+      h
+    end
+    [@lint.single_writer
+      "the invalid_arg above rejects this branch inside windows; at a \
+       barrier the caller's domain is alone"]
 
 let schedule_in t ?owner ?pin ~delay f =
   schedule t ?owner ?pin ~at:(now t +. delay) f
@@ -441,7 +475,10 @@ let window_job t s =
   (* under inline dispatch the engine itself tracks which slice the
      caller's domain is executing; under parallel dispatch the team
      member index already is the shard index *)
-  if not t.parallel then t.active_shard <- s;
+  if not t.parallel then
+    (t.active_shard <- s)
+    [@lint.single_writer
+      "inline dispatch only: one domain runs every slice in turn"];
   process_shard t s
 
 (* One dispatch: every shard processes its slice, then the caller drains

@@ -1,0 +1,68 @@
+(* Deliberate shard-ownership violations for the mt/* family.  The
+   centrepiece reconstructs the PR-8 data race: one shared stamp cell
+   written from every member of a sub-team, instead of one cell per
+   shard.  The analysis matches entry points and mutators by path
+   suffix, so local stubs bind the runtime's names without pulling
+   lib/ into the fixture build. *)
+
+module Stamp = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+  let set c v = c.value <- v
+end
+
+module Barrier_team = struct
+  let run_sub _team nsub f =
+    for i = 0 to nsub - 1 do
+      f i
+    done
+
+  let self_index _team = 0
+end
+
+(* --- the PR-8 shape: every shard writes the same cell ------------- *)
+
+let shared_cell = Stamp.create ()
+
+let record_all team n =
+  Barrier_team.run_sub team n (fun i -> Stamp.set shared_cell i) (* EXPECT mt/escape-mutable *)
+
+(* same race through a direct field write on a captured local *)
+let record_local team n =
+  let cell = Stamp.create () in
+  Barrier_team.run_sub team n (fun i -> cell.Stamp.value <- i); (* EXPECT mt/escape-mutable *)
+  cell.Stamp.value
+
+(* --- two distinct scopes writing one top-level binding ------------ *)
+
+let total = ref 0
+
+let tally team n =
+  Barrier_team.run_sub team n (fun i -> total := i); (* EXPECT mt/shared-write *)
+  Barrier_team.run_sub team n (fun i -> total := n - i) (* EXPECT mt/shared-write *)
+
+(* --- a scope reads what another scope writes, no Atomic ----------- *)
+
+let progress = ref 0
+
+let update team n =
+  Barrier_team.run_sub team n (fun i -> progress := i) (* EXPECT mt/escape-mutable *)
+
+let watch team n =
+  Barrier_team.run_sub team n (fun _ -> ignore !progress) (* EXPECT mt/non-atomic-read *)
+
+(* --- shared-array write whose index ignores the shard ------------- *)
+
+let slots = Array.make 8 0
+let victim = 3
+
+let fill team n =
+  Barrier_team.run_sub team n (fun i -> slots.(victim) <- i) (* EXPECT mt/stripe-index *)
+
+(* the escape hatch declares a named function a scope; a write indexed
+   by anything but its declared root is still flagged *)
+[@@@lint.domain_scope "drain:sh"]
+
+let hist = Array.make 4 0
+let drain sh other = hist.(other) <- sh (* EXPECT mt/stripe-index *)

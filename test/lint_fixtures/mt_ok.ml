@@ -1,0 +1,64 @@
+(* The disciplined counterparts of mt_bad.ml: per-shard striping,
+   Atomics, scope-local allocation, derived indices and declared
+   roots.  Must produce zero findings — in particular the per-cell
+   stamp array is the shape PR-8's race fix settled on, and it needs
+   no suppression. *)
+
+module Stamp = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+  let set c v = c.value <- v
+end
+
+module Barrier_team = struct
+  let run_sub _team nsub f =
+    for i = 0 to nsub - 1 do
+      f i
+    done
+
+  let self_index _team = 0
+end
+
+(* one cell per shard, indexed by the scope's owned parameter *)
+let cells = Array.init 8 (fun _ -> Stamp.create ())
+
+let record_striped team n =
+  Barrier_team.run_sub team n (fun i -> Stamp.set cells.(i) i)
+
+(* ownership is viral: an index computed from the owned parameter is
+   itself owned, and destructuring keeps it *)
+let record_derived team n =
+  Barrier_team.run_sub team n (fun i ->
+      let slot = i mod 8 in
+      match (slot, ()) with
+      | s, () -> cells.(s).Stamp.value <- s)
+
+(* the executing-shard accessor is a declared domain-index source *)
+let record_self team n =
+  Barrier_team.run_sub team n (fun _ ->
+      let s = Barrier_team.self_index team in
+      Stamp.set cells.(s) s)
+
+(* allocation inside the scope is scope-local, not an escape *)
+let sum_local team n =
+  Barrier_team.run_sub team n (fun i ->
+      let acc = ref 0 in
+      acc := !acc + i;
+      ignore !acc)
+
+(* cross-shard aggregation goes through Atomic, never a bare global *)
+let live = Atomic.make 0
+
+let count team n =
+  Barrier_team.run_sub team n (fun _ ->
+      Atomic.incr live;
+      ignore (Atomic.get live))
+
+(* a named scope writing through its declared root is clean, and the
+   striped write does not poison later reads of the same array *)
+[@@@lint.domain_scope "bump:sh"]
+
+let hist = Array.make 8 0
+let bump sh = hist.(sh) <- 1
+let snapshot () = Array.fold_left ( + ) 0 hist

@@ -1,0 +1,56 @@
+(* Precedence and hygiene of [@lint.single_writer] against
+   [@lint.allow].  An allow matching the rule is consumed first, so a
+   single_writer on the same site goes unused; an unjustified
+   single_writer silences nothing; and single_writer never covers
+   mt/non-atomic-read — it is a claim about writers, not readers. *)
+
+module Stamp = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+  let set c v = c.value <- v
+end
+
+module Barrier_team = struct
+  let run_sub _team nsub f =
+    for i = 0 to nsub - 1 do
+      f i
+    done
+end
+
+(* justified single_writer: silences exactly its own mt/* write site *)
+let seq = Stamp.create ()
+
+let a_single_writer team =
+  Barrier_team.run_sub team 1 (fun i ->
+      (Stamp.set seq i)
+      [@lint.single_writer "fixture: sub-team of one by construction"])
+
+(* allow outranks single_writer: the allow is consumed, the
+   single_writer suppresses nothing and is flagged *)
+let seq2 = Stamp.create ()
+
+let b_allow_wins team =
+  Barrier_team.run_sub team 1 (fun i ->
+      (Stamp.set seq2 i)
+      [@lint.allow "mt/escape-mutable" "fixture: allow outranks single_writer"]
+      [@lint.single_writer "fixture: never consulted"]) (* EXPECT lint/unused-allow *)
+
+(* unjustified: the meta-rule fires AND the finding is not silenced *)
+let seq3 = Stamp.create ()
+
+let c_unjustified team =
+  Barrier_team.run_sub team 1 (fun i ->
+      (Stamp.set seq3 i) [@lint.single_writer]) (* EXPECT lint/missing-justification *) (* EXPECT mt/escape-mutable *)
+
+(* single_writer covers writes only: the racy read is still reported
+   and the attribute on it goes unused *)
+let seq4 = Stamp.create ()
+
+let d_writer team =
+  Barrier_team.run_sub team 1 (fun i ->
+      (Stamp.set seq4 i) [@lint.single_writer "fixture: one writer"])
+
+let d_reader team =
+  Barrier_team.run_sub team 1 (fun _ ->
+      (ignore seq4.Stamp.value) [@lint.single_writer "fixture: reads are not writes"]) (* EXPECT mt/non-atomic-read *) (* EXPECT lint/unused-allow *)

@@ -25,7 +25,8 @@ let fixture_dir = "lint_fixtures"
 let fixture_cfg =
   {
     Lint_config.lib_prefixes = [ "test/lint_fixtures/" ];
-    parallel_prefixes = [ "test/lint_fixtures/parallel_ok" ];
+    parallel_prefixes =
+      [ "test/lint_fixtures/parallel_ok"; "test/lint_fixtures/mt_" ];
     hashtbl_det_prefixes = [ "test/lint_fixtures/det_" ];
     realtime_prefixes = [ "test/lint_fixtures/realtime_ok" ];
     unsafe_allowlist = [ "test/lint_fixtures/unsafe_ok.ml" ];
@@ -86,6 +87,7 @@ let check_fixture file () =
     && not (String.equal file "clean_ok.ml")
     && not (String.equal file "unsafe_ok.ml")
     && not (String.equal file "parallel_ok.ml")
+    && not (String.equal file "mt_ok.ml")
   then
     Alcotest.(check bool) (file ^ " has expectations") true
       (not (List.is_empty expected));
@@ -102,29 +104,49 @@ let test_every_rule_known () =
       Alcotest.(check bool) (f.rule ^ " registered") true (Rules.is_known f.rule))
     s.Engine.findings
 
-let test_suppressed_sites () =
+let suppressions_in file =
   let s, _ = Lazy.force scan_result in
-  let sup =
-    List.filter
-      (fun ((f : Finding.t), _) ->
-        String.equal (Filename.basename f.file) "suppress_fixture.ml")
-      s.Engine.suppressed
-  in
-  Alcotest.(check int) "exactly the two justified allows" 2 (List.length sup);
-  let reported = findings_of "suppress_fixture.ml" in
+  List.filter
+    (fun ((f : Finding.t), _) ->
+      String.equal (Filename.basename f.file) file)
+    s.Engine.suppressed
+
+let check_not_double_reported file sup =
+  let reported = findings_of file in
   List.iter
     (fun ((f : Finding.t), why) ->
-      Alcotest.(check string) "suppressed rule" "polycmp/equal" f.rule;
       Alcotest.(check bool) "justification recorded" true
         (String.length why > 0);
       Alcotest.(check bool) "suppressed site not double-reported" false
         (List.exists
            (fun (l, r) -> l = f.line && String.equal r f.rule)
            reported))
+    sup
+
+let test_suppressed_sites () =
+  let s, _ = Lazy.force scan_result in
+  let sup = suppressions_in "suppress_fixture.ml" in
+  Alcotest.(check int) "exactly the two justified allows" 2 (List.length sup);
+  List.iter
+    (fun ((f : Finding.t), _) ->
+      Alcotest.(check string) "suppressed rule" "polycmp/equal" f.rule)
     sup;
-  (* nothing outside the suppression fixture is suppressed *)
-  Alcotest.(check int) "no other suppressions" 2
+  check_not_double_reported "suppress_fixture.ml" sup;
+  (* nothing outside the two suppression fixtures is suppressed *)
+  Alcotest.(check int) "no other suppressions" 5
     (List.length s.Engine.suppressed)
+
+let test_mt_suppressed_sites () =
+  (* mt_suppress.ml holds two sites silenced by a justified
+     single_writer (a_single_writer, d_writer) and one where the allow
+     wins; all suppress mt/escape-mutable and nothing else *)
+  let sup = suppressions_in "mt_suppress.ml" in
+  Alcotest.(check int) "two single_writers + one allow" 3 (List.length sup);
+  List.iter
+    (fun ((f : Finding.t), _) ->
+      Alcotest.(check string) "suppressed rule" "mt/escape-mutable" f.rule)
+    sup;
+  check_not_double_reported "mt_suppress.ml" sup
 
 (* ---------------- reporter goldens ---------------- *)
 
@@ -202,6 +224,36 @@ let test_ok_logic () =
   Alcotest.(check bool) "warnings alone keep the run green" true
     (Report.ok warn_only)
 
+let test_only_filter () =
+  (* --only mt/ narrows both reporters to the mt family: the fixture
+     tree has findings in several families, but the filtered JSON
+     report mentions mt rules and no others *)
+  let out = Filename.temp_file "rdt_lint_only" ".json" in
+  let opts =
+    {
+      Lint.root = ".";
+      dirs = [ fixture_dir ];
+      baseline_file = None;
+      json = true;
+      update_baseline = false;
+      output = Some out;
+      only = Some "mt/";
+    }
+  in
+  let status = Lint.run ~cfg:fixture_cfg opts in
+  let ic = open_in out in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  Alcotest.(check int) "mt errors fail the filtered run" 1 status;
+  Alcotest.(check bool) "mt findings present" true
+    (contains ~needle:"\"rule\": \"mt/escape-mutable\"" body);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("filtered out " ^ needle) false
+        (contains ~needle body))
+    [ "\"det/"; "\"alloc/"; "\"unsafe/"; "\"polycmp/"; "\"lint/" ]
+
 (* ---------------- qcheck properties ---------------- *)
 
 let rule_arb = QCheck.make (QCheck.Gen.oneofl Rules.ids)
@@ -250,7 +302,7 @@ let prop_silences =
              Suppress.allow_matches ~allow_rule ~justified ~rule)
            allows))
 
-let finding_gen =
+let finding_gen_of rules =
   QCheck.Gen.map
     (fun ((rule, file, context), (line, col)) ->
       {
@@ -264,10 +316,12 @@ let finding_gen =
       })
     (QCheck.Gen.pair
        (QCheck.Gen.triple
-          (QCheck.Gen.oneofl Rules.ids)
+          (QCheck.Gen.oneofl rules)
           (QCheck.Gen.oneofl [ "lib/a.ml"; "lib/b.ml"; "lib/sim/c.ml" ])
           (QCheck.Gen.oneofl [ "f"; "g"; "<toplevel>" ]))
        (QCheck.Gen.pair (QCheck.Gen.int_range 1 500) (QCheck.Gen.int_range 0 40)))
+
+let finding_gen = finding_gen_of Rules.ids
 
 let prop_fingerprints_stable =
   QCheck.Test.make ~count:300
@@ -285,6 +339,30 @@ let prop_fingerprints_stable =
       in
       List.equal String.equal (Finding.fingerprints fs)
         (Finding.fingerprints shifted))
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* Introducing mt/* findings must not move any existing family's
+   baseline fingerprints: the ordinal is per (rule, file, context)
+   group, so a new family only appends new keys.  This is what lets a
+   tree adopt the mt rules without churning its committed baseline. *)
+let prop_mt_fingerprints_inert =
+  let is_mt = has_prefix ~prefix:"mt/" in
+  let mt_rules, other_rules = List.partition is_mt Rules.ids in
+  QCheck.Test.make ~count:300
+    ~name:"mt findings leave other families' fingerprints unchanged"
+    (QCheck.make
+       (QCheck.Gen.pair
+          (QCheck.Gen.small_list (finding_gen_of other_rules))
+          (QCheck.Gen.small_list (finding_gen_of mt_rules))))
+    (fun (base, mts) ->
+      List.equal String.equal
+        (Finding.fingerprints base)
+        (List.filter
+           (fun fp -> not (is_mt fp))
+           (Finding.fingerprints (base @ mts))))
 
 let suite =
   [
@@ -309,6 +387,16 @@ let suite =
       (check_fixture "suppress_fixture.ml");
     Alcotest.test_case "suppression silences exactly its site" `Quick
       test_suppressed_sites;
+    Alcotest.test_case "mt family flags the shared-stamp-cell shapes" `Quick
+      (check_fixture "mt_bad.ml");
+    Alcotest.test_case "mt striped/atomic/scope-local idioms are clean" `Quick
+      (check_fixture "mt_ok.ml");
+    Alcotest.test_case "single_writer precedence and hygiene" `Quick
+      (check_fixture "mt_suppress.ml");
+    Alcotest.test_case "single_writer suppresses exactly its mt write site"
+      `Quick test_mt_suppressed_sites;
+    Alcotest.test_case "--only narrows reporting to one family" `Quick
+      test_only_filter;
     Alcotest.test_case "fixture discovery is warning-free" `Quick
       test_no_scan_warnings;
     Alcotest.test_case "every emitted rule is registered" `Quick
@@ -320,4 +408,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_matches_model;
     QCheck_alcotest.to_alcotest prop_silences;
     QCheck_alcotest.to_alcotest prop_fingerprints_stable;
+    QCheck_alcotest.to_alcotest prop_mt_fingerprints_inert;
   ]
